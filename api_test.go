@@ -1,0 +1,121 @@
+package mdsprint
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestPublicWorkflow(t *testing.T) {
+	// The complete library workflow through the public surface only.
+	mix, err := WorkloadMix("Jacobi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MechanismByName("DVFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Profile(mix, m, ProfileOptions{Samples: 14, QueriesPerRun: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ServiceRate <= 0 || ds.MarginalRate <= ds.ServiceRate {
+		t.Fatalf("dataset rates: mu=%v mum=%v", ds.ServiceRate, ds.MarginalRate)
+	}
+
+	// Persist and reload.
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.MarginalRate != ds.MarginalRate {
+		t.Fatal("round trip lost the marginal rate")
+	}
+
+	// Train and predict.
+	model, err := TrainHybrid(ds2, ModelOptions{SimQueries: 1500, SimReps: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Condition{
+		Utilization: 0.8, ArrivalKind: ArrivalExponential,
+		RefillTime: 300, BudgetPct: 0.3,
+	}
+	cond := base
+	cond.Timeout = 60
+	pred, err := model.Predict(ds2, Scenario{Cond: cond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.MeanRT <= 0 || math.IsNaN(pred.MeanRT) {
+		t.Fatalf("prediction %v", pred.MeanRT)
+	}
+
+	// Policy search.
+	to, rt, err := BestTimeout(model, ds2, base, 200, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to < 0 || to > 200 || rt <= 0 {
+		t.Fatalf("best timeout %v rt %v", to, rt)
+	}
+	// The annealed timeout can only improve on the arbitrary 60 s one
+	// (both evaluated by the same model, small slack for sim noise).
+	if rt > pred.MeanRT*1.05 {
+		t.Fatalf("search result %v worse than arbitrary policy %v", rt, pred.MeanRT)
+	}
+}
+
+func TestPublicCatalogHelpers(t *testing.T) {
+	if len(Workloads()) != 7 {
+		t.Fatalf("catalog size %d", len(Workloads()))
+	}
+	for _, name := range []string{"MixI", "MixII"} {
+		mix, err := WorkloadMix(name)
+		if err != nil || len(mix.Components) < 2 {
+			t.Fatalf("WorkloadMix(%s): %v %v", name, mix, err)
+		}
+	}
+	if _, err := WorkloadMix("Unknown"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	th := Throttle(0.20)
+	if th.MarginalSpeedup(Workloads()[2]) != 5 { // Jacobi
+		t.Fatalf("throttle speedup %v", th.MarginalSpeedup(Workloads()[2]))
+	}
+	if got := ToQPH(QPH(87)); math.Abs(got-87) > 1e-9 {
+		t.Fatalf("rate conversion %v", got)
+	}
+}
+
+func TestPublicNoML(t *testing.T) {
+	mix, _ := WorkloadMix("Jacobi")
+	m, _ := MechanismByName("DVFS")
+	ds, err := Profile(mix, m, ProfileOptions{Samples: 6, QueriesPerRun: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noml := NewNoML(17)
+	pred, err := noml.Predict(ds, Scenario{Cond: Condition{
+		Utilization: 0.6, ArrivalKind: ArrivalExponential,
+		Timeout: 50, RefillTime: 200, BudgetPct: 0.2,
+	}})
+	if err != nil || pred.MeanRT <= 0 {
+		t.Fatalf("NoML prediction %v, %v", pred, err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := Profile(Mix{}, nil, ProfileOptions{}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	mix, _ := WorkloadMix("Jacobi")
+	if _, err := Profile(mix, nil, ProfileOptions{}); err == nil {
+		t.Fatal("nil mechanism accepted")
+	}
+}

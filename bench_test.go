@@ -1,0 +1,303 @@
+package mdsprint
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation, each regenerating its experiment at test scale, plus the
+// ablation benchmarks DESIGN.md calls out. A shared lab caches profiling
+// and model training across benchmarks, so the first benchmark touching a
+// dataset pays its cost.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full-scale record with cmd/benchgen -scale full.
+
+import (
+	"sync"
+	"testing"
+
+	"mdsprint/internal/calib"
+	"mdsprint/internal/dist"
+	"mdsprint/internal/experiments"
+	"mdsprint/internal/forest"
+	"mdsprint/internal/mech"
+	"mdsprint/internal/profiler"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/stats"
+	"mdsprint/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchOnce.Do(func() { benchLab = experiments.NewLab(experiments.Quick()) })
+	return benchLab
+}
+
+func BenchmarkFig1Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1(lab())
+		if r.Improvement <= 1 {
+			b.Fatal("no timeout sensitivity")
+		}
+	}
+}
+
+func BenchmarkTable1C(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1C(lab())
+		if len(r.Rows) != 7 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+func BenchmarkMMKValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.MMKValidation(lab())
+		b.ReportMetric(r.MedianError*100, "median-err-%")
+	}
+}
+
+func BenchmarkFig7ModelComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(lab())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MedianError("Hybrid", "Overall")*100, "hybrid-err-%")
+		b.ReportMetric(r.MedianError("No-ML", "Overall")*100, "noml-err-%")
+	}
+}
+
+func BenchmarkFig8WorkloadCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8A(lab()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig8B(lab()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8CHardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8C(lab()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Mixes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(lab()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Groupings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(lab()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11SimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(lab())
+		b.ReportMetric(r.Scaling, "core-scaling-x")
+	}
+}
+
+func BenchmarkFig12TimeoutStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12A(lab()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig12C(lab()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Colocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13(lab())
+		combo1 := experiments.Combos()[0].Name
+		b.ReportMetric(float64(r.Hosted(combo1, "model-driven sprinting")), "combo1-hosted")
+	}
+}
+
+func BenchmarkFig14Amortisation(b *testing.B) {
+	f13 := experiments.Fig13(lab())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(f13)
+		b.ReportMetric(r.LifetimeRatio, "lifetime-ratio-x")
+	}
+}
+
+func BenchmarkTailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TailLatency(lab())
+		b.ReportMetric(r.RatioP99, "tail-ratio-x")
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// benchSimParams is a representative sprinting scenario for simulator
+// ablations.
+func benchSimParams(n int) queuesim.Params {
+	mu := 0.02
+	return queuesim.Params{
+		ArrivalRate: 0.8 * mu,
+		Service:     dist.LogNormalFromMeanCV(1/mu, 0.3),
+		ServiceRate: mu,
+		SprintRate:  1.6 * mu,
+		Timeout:     60, BudgetSeconds: 300, RefillTime: 200,
+		NumQueries: n, Warmup: n / 10, Seed: 7,
+	}
+}
+
+// BenchmarkAblationTickVsEvent quantifies the cost of Algorithm 1's
+// tick-stepped clock versus this repository's event-driven scheduling at
+// identical semantics.
+func BenchmarkAblationTickVsEvent(b *testing.B) {
+	p := benchSimParams(2000)
+	b.Run("event", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			queuesim.MustRun(p)
+		}
+	})
+	b.Run("tick-10ms", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queuesim.RunTick(p, 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tick-100ms", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queuesim.RunTick(p, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ablationDataset profiles a small Jacobi dataset for the calibration and
+// forest ablations.
+var (
+	ablOnce sync.Once
+	ablDS   *profiler.Dataset
+)
+
+func ablationDataset() *profiler.Dataset {
+	ablOnce.Do(func() {
+		p := &profiler.Profiler{
+			Mix:           workload.SingleClass(workload.MustByName("Jacobi")),
+			Mechanism:     mech.DVFS{},
+			QueriesPerRun: 800,
+			Replications:  2,
+			Seed:          31,
+		}
+		ablDS = p.Profile(profiler.PaperGrid().Sample(12, 5))
+	})
+	return ablDS
+}
+
+// BenchmarkAblationCalibration compares the bisection search against the
+// paper's exhaustive unit-stepping search for effective sprint rates.
+func BenchmarkAblationCalibration(b *testing.B) {
+	ds := ablationDataset()
+	base := calib.Options{NumQueries: 1500, Replications: 2, Tolerance: 0.02, Seed: 11}
+	run := func(b *testing.B, o calib.Options) {
+		var resid []float64
+		for i := 0; i < b.N; i++ {
+			resid = resid[:0]
+			for _, obs := range ds.Observations {
+				rec := calib.EffectiveRate(ds, obs, o)
+				resid = append(resid, rec.RelError())
+			}
+		}
+		b.ReportMetric(stats.Median(resid)*100, "median-resid-%")
+	}
+	b.Run("bisection", func(b *testing.B) { run(b, base) })
+	b.Run("stepping-1qph", func(b *testing.B) {
+		o := base
+		o.Stepping = true
+		o.StepQPH = 1
+		o.MaxIter = 60
+		run(b, o)
+	})
+	b.Run("stepping-0.25qph", func(b *testing.B) {
+		o := base
+		o.Stepping = true
+		o.StepQPH = 0.25
+		o.MaxIter = 120
+		run(b, o)
+	})
+}
+
+// BenchmarkAblationForest varies the forest's structural knobs (the paper
+// fixes 10 deep, unpruned trees).
+func BenchmarkAblationForest(b *testing.B) {
+	ds := ablationDataset()
+	recs := calib.CalibrateDataset(ds, ds.Observations,
+		calib.Options{NumQueries: 1500, Replications: 2, Tolerance: 0.02, Seed: 13})
+	var samples []forest.Sample
+	for i, rec := range recs {
+		obs := ds.Observations[i]
+		samples = append(samples, forest.Sample{
+			Features: []float64{obs.ArrivalRate, obs.Cond.Timeout, obs.Cond.RefillTime, obs.Cond.BudgetPct},
+			X:        rec.MarginalRate,
+			Y:        rec.EffectiveRate,
+		})
+	}
+	names := []string{"lambda", "timeout", "refill", "budget"}
+	for _, cfg := range []struct {
+		name string
+		c    forest.Config
+	}{
+		{"paper-10-deep", forest.Config{Trees: 10, Seed: 3}},
+		{"trees-50", forest.Config{Trees: 50, Seed: 3}},
+		{"depth-2", forest.Config{Trees: 10, MaxDepth: 2, Seed: 3}},
+		{"single-tree", forest.Config{Trees: 1, FeatureFrac: 1, Seed: 3}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Train(samples, names, cfg.c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictionThroughput measures raw predictions per second at 1
+// worker and at full parallelism (the Section 3.6 scaling claim in
+// microbenchmark form).
+func BenchmarkPredictionThroughput(b *testing.B) {
+	p := benchSimParams(10000)
+	b.Run("1-worker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queuesim.Predict(p, 2, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("all-workers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queuesim.Predict(p, 8, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

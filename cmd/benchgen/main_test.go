@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"mdsprint/internal/experiments"
+)
+
+func TestStepsCoverEveryFigureAndTable(t *testing.T) {
+	want := []string{
+		"fig1", "table1c", "mmk", "fig7", "fig8a", "fig8b", "fig8c",
+		"fig9", "fig10", "datascaling", "fig11", "fig12a", "fig12b",
+		"fig12c", "fig13", "tail", "fig14", "ablations", "tailacc",
+	}
+	got := steps()
+	if len(got) != len(want) {
+		t.Fatalf("%d steps, want %d", len(got), len(want))
+	}
+	seen := map[string]bool{}
+	for i, s := range got {
+		if s.name != want[i] {
+			t.Errorf("step %d = %q, want %q", i, s.name, want[i])
+		}
+		if seen[s.name] {
+			t.Errorf("duplicate step %q", s.name)
+		}
+		seen[s.name] = true
+		if s.run == nil {
+			t.Errorf("step %q has no runner", s.name)
+		}
+	}
+}
+
+func TestQuickStepRuns(t *testing.T) {
+	// One cheap step end to end through the dispatcher machinery.
+	lab := experiments.NewLab(experiments.Quick())
+	for _, s := range steps() {
+		if s.name != "mmk" {
+			continue
+		}
+		tab, err := s.run(lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatal("empty table")
+		}
+	}
+}

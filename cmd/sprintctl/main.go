@@ -1,0 +1,277 @@
+// Command sprintctl is the operator's CLI for model-driven computational
+// sprinting:
+//
+//	sprintctl workloads
+//	    list the Table 1(C) workload catalog and mechanisms
+//	sprintctl profile -workload Jacobi -mech DVFS -samples 80 -out ds.json
+//	    profile a workload over the cluster-sampling grid
+//	sprintctl predict -dataset ds.json -util 0.75 -timeout 60 -budget 0.2 -refill 200 [-model hybrid|noml]
+//	    predict response time for one sprinting policy
+//	sprintctl explore -dataset ds.json -util 0.8 -budget 0.3 -refill 600
+//	    anneal the timeout space for the lowest expected response time
+//	sprintctl colocate -combo 1
+//	    plan burstable-instance colocation for a Figure 13 combo
+//
+// Profiling writes a JSON dataset; predict/explore train the hybrid model
+// from it on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdsprint/internal/calib"
+	"mdsprint/internal/colocate"
+	"mdsprint/internal/core"
+	"mdsprint/internal/dist"
+	"mdsprint/internal/experiments"
+	"mdsprint/internal/explore"
+	"mdsprint/internal/forest"
+	"mdsprint/internal/mech"
+	"mdsprint/internal/profiler"
+	"mdsprint/internal/sprint"
+	"mdsprint/internal/trace"
+	"mdsprint/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "workloads":
+		err = cmdWorkloads()
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "explore":
+		err = cmdExplore(os.Args[2:])
+	case "colocate":
+		err = cmdColocate(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sprintctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sprintctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sprintctl <workloads|profile|predict|explore|colocate> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")
+}
+
+func cmdWorkloads() error {
+	fmt.Println("workloads (Table 1C, sustained/burst qph on DVFS):")
+	for _, c := range workload.Catalog() {
+		fmt.Printf("  %-12s %4.0f / %4.0f  (phases: %s)\n", c.Name, c.SustainedQPH, c.BurstQPH, c.Phases.Desc)
+	}
+	fmt.Println("mechanisms: DVFS, CoreScale, EC2DVFS, Throttle<pct> (e.g. Throttle20)")
+	return nil
+}
+
+// resolveMechanism parses a mechanism name, including ThrottleNN.
+func resolveMechanism(name string) (mech.Mechanism, error) {
+	if strings.HasPrefix(name, "Throttle") {
+		var pctVal float64
+		if _, err := fmt.Sscanf(name, "Throttle%f", &pctVal); err != nil {
+			return nil, fmt.Errorf("bad throttle mechanism %q (want e.g. Throttle20)", name)
+		}
+		return mech.NewThrottle(pctVal / 100), nil
+	}
+	return mech.ByName(name)
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	workloadName := fs.String("workload", "Jacobi", "workload class or MixI/MixII")
+	mechName := fs.String("mech", "DVFS", "sprinting mechanism")
+	samples := fs.Int("samples", 80, "cluster-sampling conditions to profile")
+	queries := fs.Int("queries", 1500, "queries per profiling run")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "dataset.json", "output dataset path")
+	fs.Parse(args)
+
+	mix, err := resolveMix(*workloadName)
+	if err != nil {
+		return err
+	}
+	m, err := resolveMechanism(*mechName)
+	if err != nil {
+		return err
+	}
+	p := &profiler.Profiler{
+		Mix: mix, Mechanism: m,
+		QueriesPerRun: *queries, Replications: 2, Seed: *seed,
+	}
+	conds := profiler.PaperGrid().Sample(*samples, *seed+3)
+	fmt.Printf("profiling %s on %s over %d conditions...\n", mix.Name, m.Name(), len(conds))
+	ds := p.Profile(conds)
+	if err := trace.SaveDataset(*out, ds); err != nil {
+		return err
+	}
+	fmt.Printf("service rate: %.2f qph   marginal sprint rate: %.2f qph (speedup %.2fx)\n",
+		sprint.ToQPH(ds.ServiceRate), sprint.ToQPH(ds.MarginalRate), ds.MarginalSpeedup())
+	fmt.Printf("simulated profiling time: %.1f hours\n", ds.ProfilingSeconds/3600)
+	fmt.Printf("dataset written to %s\n", *out)
+	return nil
+}
+
+func resolveMix(name string) (workload.Mix, error) {
+	switch name {
+	case "MixI":
+		return workload.MixI(), nil
+	case "MixII":
+		return workload.MixII(), nil
+	default:
+		c, err := workload.ByName(name)
+		if err != nil {
+			return workload.Mix{}, err
+		}
+		return workload.SingleClass(c), nil
+	}
+}
+
+// trainHybrid trains the hybrid model on every observation of a dataset.
+func trainHybrid(ds *profiler.Dataset, seed uint64) (*core.Hybrid, error) {
+	return core.TrainHybrid(
+		[]core.TrainingSet{{Dataset: ds, Observations: ds.Observations}},
+		core.HybridOptions{
+			Forest:     forest.Config{Trees: 10, FeatureFrac: 0.9, Seed: seed + 7},
+			Calib:      calib.Options{NumQueries: 2500, Replications: 3, Tolerance: 0.025, Seed: seed + 101},
+			SimQueries: 3000, SimReps: 2, Seed: seed + 13,
+		},
+	)
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	dsPath := fs.String("dataset", "dataset.json", "profiled dataset (from sprintctl profile)")
+	util := fs.Float64("util", 0.75, "arrival rate as a fraction of service rate")
+	arrival := fs.String("arrival", "exponential", "arrival distribution: exponential, pareto, deterministic")
+	timeout := fs.Float64("timeout", 60, "sprint timeout in seconds (negative disables)")
+	budget := fs.Float64("budget", 0.2, "sprint budget as a fraction of capacity per refill window")
+	refill := fs.Float64("refill", 200, "budget refill window in seconds")
+	modelName := fs.String("model", "hybrid", "model: hybrid or noml")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	ds, err := trace.LoadDataset(*dsPath)
+	if err != nil {
+		return err
+	}
+	var model core.Model
+	switch *modelName {
+	case "hybrid":
+		fmt.Println("training hybrid model (calibrating effective sprint rates)...")
+		model, err = trainHybrid(ds, *seed)
+		if err != nil {
+			return err
+		}
+	case "noml":
+		model = &core.NoML{SimQueries: 3000, SimReps: 2, Seed: *seed}
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	sc := core.Scenario{Cond: profiler.Condition{
+		Utilization: *util,
+		ArrivalKind: dist.Kind(*arrival),
+		Timeout:     *timeout,
+		RefillTime:  *refill,
+		BudgetPct:   *budget,
+	}}
+	pred, err := model.Predict(ds, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s prediction for %s:\n", model.Name(), sc.Cond)
+	fmt.Printf("  mean RT %.1f s   p95 %.1f s   p99 %.1f s\n", pred.MeanRT, pred.P95RT, pred.P99RT)
+	if pred.SprintRate > 0 {
+		fmt.Printf("  sprint rate used: %.2f qph (marginal %.2f qph)\n",
+			sprint.ToQPH(pred.SprintRate), sprint.ToQPH(ds.MarginalRate))
+	}
+	return nil
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	dsPath := fs.String("dataset", "dataset.json", "profiled dataset")
+	util := fs.Float64("util", 0.8, "arrival rate as a fraction of service rate")
+	budget := fs.Float64("budget", 0.3, "sprint budget fraction")
+	refill := fs.Float64("refill", 600, "refill window seconds")
+	maxTimeout := fs.Float64("max-timeout", 300, "largest timeout to consider")
+	iters := fs.Int("iters", 200, "annealing iterations")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	ds, err := trace.LoadDataset(*dsPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println("training hybrid model...")
+	h, err := trainHybrid(ds, *seed)
+	if err != nil {
+		return err
+	}
+	obj := func(to float64) float64 {
+		pred, err := h.Predict(ds, core.Scenario{Cond: profiler.Condition{
+			Utilization: *util, ArrivalKind: dist.KindExponential,
+			Timeout: to, RefillTime: *refill, BudgetPct: *budget,
+		}})
+		if err != nil {
+			panic(err)
+		}
+		return pred.MeanRT
+	}
+	fmt.Printf("annealing timeouts in [0, %.0f] (%d iterations)...\n", *maxTimeout, *iters)
+	res, err := explore.MinimizeTimeout(obj, 0, *maxTimeout, explore.Options{MaxIter: *iters, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best timeout: %.1f s   expected mean RT: %.1f s   (%d model evaluations)\n",
+		res.Point[0], res.RT, res.Evaluations)
+	return nil
+}
+
+func cmdColocate(args []string) error {
+	fs := flag.NewFlagSet("colocate", flag.ExitOnError)
+	comboIdx := fs.Int("combo", 1, "Figure 13 combo: 1, 2 or 3")
+	simQueries := fs.Int("queries", 4000, "simulated queries per SLO check")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	combos := experiments.Combos()
+	if *comboIdx < 1 || *comboIdx > len(combos) {
+		return fmt.Errorf("combo must be 1..%d", len(combos))
+	}
+	combo := combos[*comboIdx-1]
+	est := colocate.SimEstimator{SimQueries: *simQueries, SimReps: 2, Seed: *seed}
+	fmt.Printf("planning %s under a %.0f%% response-time SLO...\n\n", combo.Name, (colocate.SLOFactor-1)*100)
+	for _, planner := range []struct {
+		name string
+		p    colocate.Planner
+	}{
+		{"aws fixed policy", colocate.AWSPlanner(est)},
+		{"model-driven budgeting", colocate.BudgetPlanner(est, colocate.AWSRefill)},
+		{"model-driven sprinting", colocate.SprintPlanner(est, 60, *seed)},
+	} {
+		assigns, n := colocate.FillNode(combo.Workloads, planner.p)
+		fmt.Printf("%s: hosts %d/%d on one node ($%.3f/hr)\n",
+			planner.name, n, len(combo.Workloads), colocate.PricePerHour*float64(n))
+		for _, a := range assigns {
+			fmt.Printf("    %-12s util %.0f%%  %v\n", a.Workload.Name, a.Workload.Utilization*100, a.Plan)
+		}
+		fmt.Println()
+	}
+	return nil
+}

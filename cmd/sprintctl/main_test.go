@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdsprint/internal/trace"
+)
+
+func TestResolveMechanism(t *testing.T) {
+	for _, name := range []string{"DVFS", "CoreScale", "EC2DVFS"} {
+		m, err := resolveMechanism(name)
+		if err != nil || m.Name() != name {
+			t.Fatalf("resolveMechanism(%s) = %v, %v", name, m, err)
+		}
+	}
+	m, err := resolveMechanism("Throttle20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "Throttle20%" {
+		t.Fatalf("throttle name %q", m.Name())
+	}
+	if _, err := resolveMechanism("ThrottleXY"); err == nil {
+		t.Fatal("bad throttle accepted")
+	}
+	if _, err := resolveMechanism("Nitro"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestResolveMix(t *testing.T) {
+	for name, components := range map[string]int{
+		"Jacobi": 1, "MixI": 2, "MixII": 4,
+	} {
+		mix, err := resolveMix(name)
+		if err != nil {
+			t.Fatalf("resolveMix(%s): %v", name, err)
+		}
+		if len(mix.Components) != components {
+			t.Fatalf("%s has %d components, want %d", name, len(mix.Components), components)
+		}
+	}
+	if _, err := resolveMix("NoSuch"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestProfilePredictRoundTrip(t *testing.T) {
+	// End-to-end through the CLI's internals: profile a tiny dataset to
+	// disk, reload it, train the hybrid model, predict.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	if err := cmdProfile([]string{
+		"-workload", "Jacobi", "-mech", "DVFS",
+		"-samples", "10", "-queries", "300", "-out", path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.MixName != "Jacobi" || len(ds.Observations) != 10 {
+		t.Fatalf("dataset %s with %d observations", ds.MixName, len(ds.Observations))
+	}
+	if err := cmdPredict([]string{
+		"-dataset", path, "-util", "0.6", "-timeout", "60",
+		"-budget", "0.2", "-refill", "200", "-model", "noml",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+// Package mdsprint is a from-scratch Go reproduction of "Model-Driven
+// Computational Sprinting" (Morris, Stewart, Chen, Birke, Kelley —
+// EuroSys 2018): performance models that choose computational-sprinting
+// policies (timeouts, sprint rates, budgets) by predicting the response
+// time each policy would yield.
+//
+// The repository layout:
+//
+//   - internal/core — the paper's contribution: the hybrid model
+//     (profiling -> effective sprint rate -> random decision forest ->
+//     timeout-aware queue simulation) plus the No-ML and ANN baselines;
+//   - internal/{dist,stats,sim} — simulation substrates;
+//   - internal/{workload,mech,sprint,testbed,profiler} — the simulated
+//     hardware testbed and the Section 2.1 workload profiler;
+//   - internal/{queuesim,calib,forest,ann} — the model components;
+//   - internal/{explore,policies,colocate} — Section 4's policy search,
+//     baselines and burstable-instance colocation;
+//   - internal/experiments — one entry point per paper table/figure;
+//   - cmd/sprintctl, cmd/benchgen — the CLI and the experiment
+//     regenerator;
+//   - examples — runnable walkthroughs of the public workflow.
+//
+// The benchmarks in bench_test.go regenerate each figure at test scale;
+// run cmd/benchgen -scale full for the EXPERIMENTS.md record.
+package mdsprint

@@ -1,0 +1,63 @@
+// Burstable-instance colocation: Section 4.4's use case. Plan sprinting
+// policies for a combo of tenant workloads under a response-time SLO,
+// compare AWS's fixed policy against model-driven budgeting and
+// model-driven sprinting, and amortise the profiling cost over a server
+// lifetime.
+package main
+
+import (
+	"fmt"
+
+	"mdsprint/internal/colocate"
+	"mdsprint/internal/experiments"
+)
+
+func main() {
+	combo := experiments.Combos()[0] // 4x Jacobi at 70% utilization
+	est := colocate.SimEstimator{SimQueries: 5000, SimReps: 3, Seed: 31}
+
+	fmt.Printf("combo: %s\n", combo.Name)
+	fmt.Printf("SLO: response time within %.0f%% of the unthrottled baseline\n\n", (colocate.SLOFactor-1)*100)
+
+	type outcome struct {
+		name   string
+		hosted int
+	}
+	var outcomes []outcome
+	for _, planner := range []struct {
+		name string
+		p    colocate.Planner
+	}{
+		{"aws fixed policy", colocate.AWSPlanner(est)},
+		{"model-driven budgeting", colocate.BudgetPlanner(est, colocate.AWSRefill)},
+		{"model-driven sprinting", colocate.SprintPlanner(est, 60, 32)},
+	} {
+		assigns, n := colocate.FillNode(combo.Workloads, planner.p)
+		fmt.Printf("%-24s hosts %d/%d on one node -> $%.3f/hr\n",
+			planner.name, n, len(combo.Workloads), colocate.PricePerHour*float64(n))
+		for _, a := range assigns {
+			fmt.Printf("    %-12s %v\n", a.Workload.Name, a.Plan)
+		}
+		outcomes = append(outcomes, outcome{planner.name, n})
+		fmt.Println()
+	}
+
+	// Profiling-cost amortisation (Figure 14's arithmetic).
+	aws, model := outcomes[0].hosted, outcomes[2].hosted
+	if aws < 1 {
+		aws = 1
+	}
+	if model > aws {
+		awsRate := colocate.PricePerHour * float64(aws)
+		modelRate := colocate.PricePerHour * float64(model)
+		delay := experiments.ProfilingHoursPerWorkload * float64(len(combo.Workloads))
+		crossover := modelRate * delay / (modelRate - awsRate)
+		lifetime := float64(experiments.ServerLifetimeHours)
+		ratio := modelRate * (lifetime - delay) / (awsRate * lifetime)
+		fmt.Printf("profiling cost: %.1f h per workload (%.1f h total)\n",
+			experiments.ProfilingHoursPerWorkload, delay)
+		fmt.Printf("model-driven sprinting breaks even after %.0f h (%.1f days)\n", crossover, crossover/24)
+		fmt.Printf("over a %v-hour server lifetime it earns %.2fx the AWS policy\n",
+			experiments.ServerLifetimeHours, ratio)
+	}
+}

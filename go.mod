@@ -1,0 +1,3 @@
+module mdsprint
+
+go 1.22

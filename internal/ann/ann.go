@@ -1,0 +1,293 @@
+// Package ann implements the artificial-neural-network baseline of Table
+// 1(A): a multi-layer perceptron that maps sprinting policies and workload
+// conditions directly to response time. The paper contrasts it with the
+// hybrid model: the ANN must learn the discontinuous policy-to-response-
+// time surface end to end, so it needs 6x-54x more training data to match
+// the hybrid approach (Section 3.1).
+//
+// The network is a standard fully connected MLP — ReLU activations, He
+// initialisation, Adam optimiser, z-score normalisation of inputs and
+// target — written against the standard library only.
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"mdsprint/internal/dist"
+)
+
+// Config describes the network and its training run.
+type Config struct {
+	// HiddenLayers and Width define the architecture. The paper's
+	// baseline uses 10 hidden layers of 100 neurons.
+	HiddenLayers int
+	Width        int
+	// LearningRate for Adam (default 1e-3).
+	LearningRate float64
+	// Epochs over the training set (default 200).
+	Epochs int
+	// BatchSize for minibatch SGD (default 32).
+	BatchSize int
+	// Seed drives initialisation and shuffling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HiddenLayers == 0 {
+		c.HiddenLayers = 10
+	}
+	if c.Width == 0 {
+		c.Width = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// layer is one dense layer with Adam state.
+type layer struct {
+	in, out int
+	w       []float64 // out x in, row-major
+	b       []float64
+	// Adam moments.
+	mw, vw []float64
+	mb, vb []float64
+}
+
+func newLayer(in, out int, r *dist.RNG) *layer {
+	l := &layer{
+		in: in, out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	// He initialisation for ReLU networks.
+	scale := math.Sqrt(2 / float64(in))
+	for i := range l.w {
+		l.w[i] = r.NormFloat64() * scale
+	}
+	return l
+}
+
+// Network is a trained MLP regressor.
+type Network struct {
+	cfg    Config
+	layers []*layer
+	inMean []float64
+	inStd  []float64
+	outMu  float64
+	outSd  float64
+}
+
+// Train fits the network to (inputs, targets). All input rows must share a
+// width. Training is deterministic for a fixed config.
+func Train(inputs [][]float64, targets []float64, cfg Config) (*Network, error) {
+	if len(inputs) == 0 || len(inputs) != len(targets) {
+		return nil, fmt.Errorf("ann: %d inputs vs %d targets", len(inputs), len(targets))
+	}
+	width := len(inputs[0])
+	if width == 0 {
+		return nil, fmt.Errorf("ann: empty feature vectors")
+	}
+	for i, row := range inputs {
+		if len(row) != width {
+			return nil, fmt.Errorf("ann: row %d has %d features, want %d", i, len(row), width)
+		}
+	}
+	c := cfg.withDefaults()
+	r := dist.NewRNG(c.Seed)
+
+	n := &Network{cfg: c}
+	n.normalise(inputs, targets)
+
+	// Architecture: width -> [Width]*HiddenLayers -> 1.
+	sizes := make([]int, 0, c.HiddenLayers+2)
+	sizes = append(sizes, width)
+	for i := 0; i < c.HiddenLayers; i++ {
+		sizes = append(sizes, c.Width)
+	}
+	sizes = append(sizes, 1)
+	for i := 0; i+1 < len(sizes); i++ {
+		n.layers = append(n.layers, newLayer(sizes[i], sizes[i+1], r))
+	}
+
+	// Pre-normalised copies of the data.
+	X := make([][]float64, len(inputs))
+	Y := make([]float64, len(targets))
+	for i := range inputs {
+		X[i] = n.normIn(inputs[i])
+		Y[i] = (targets[i] - n.outMu) / n.outSd
+	}
+
+	n.fit(X, Y, r)
+	return n, nil
+}
+
+// normalise records z-score statistics of the training data.
+func (n *Network) normalise(inputs [][]float64, targets []float64) {
+	width := len(inputs[0])
+	n.inMean = make([]float64, width)
+	n.inStd = make([]float64, width)
+	for j := 0; j < width; j++ {
+		sum := 0.0
+		for _, row := range inputs {
+			sum += row[j]
+		}
+		mean := sum / float64(len(inputs))
+		varSum := 0.0
+		for _, row := range inputs {
+			d := row[j] - mean
+			varSum += d * d
+		}
+		sd := math.Sqrt(varSum / float64(len(inputs)))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		n.inMean[j], n.inStd[j] = mean, sd
+	}
+	sum := 0.0
+	for _, y := range targets {
+		sum += y
+	}
+	n.outMu = sum / float64(len(targets))
+	varSum := 0.0
+	for _, y := range targets {
+		d := y - n.outMu
+		varSum += d * d
+	}
+	n.outSd = math.Sqrt(varSum / float64(len(targets)))
+	if n.outSd < 1e-12 {
+		n.outSd = 1
+	}
+}
+
+func (n *Network) normIn(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - n.inMean[j]) / n.inStd[j]
+	}
+	return out
+}
+
+// fit runs minibatch Adam over the normalised data.
+func (n *Network) fit(X [][]float64, Y []float64, r *dist.RNG) {
+	c := n.cfg
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Forward activations and backward deltas, reused across samples.
+	acts := make([][]float64, len(n.layers)+1)
+	pre := make([][]float64, len(n.layers))
+	step := 0
+	for epoch := 0; epoch < c.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += c.BatchSize {
+			end := start + c.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			// Accumulate gradients over the batch.
+			gw := make([][]float64, len(n.layers))
+			gb := make([][]float64, len(n.layers))
+			for li, l := range n.layers {
+				gw[li] = make([]float64, len(l.w))
+				gb[li] = make([]float64, len(l.b))
+			}
+			for _, si := range batch {
+				n.forward(X[si], acts, pre)
+				// MSE loss: dL/dout = 2*(out - y); constant 2
+				// folds into the learning rate.
+				delta := []float64{acts[len(n.layers)][0] - Y[si]}
+				for li := len(n.layers) - 1; li >= 0; li-- {
+					l := n.layers[li]
+					in := acts[li]
+					nextDelta := make([]float64, l.in)
+					for o := 0; o < l.out; o++ {
+						d := delta[o]
+						if li < len(n.layers)-1 && pre[li][o] <= 0 {
+							d = 0 // ReLU gradient
+						}
+						gb[li][o] += d
+						row := l.w[o*l.in : (o+1)*l.in]
+						for i2 := 0; i2 < l.in; i2++ {
+							gw[li][o*l.in+i2] += d * in[i2]
+							nextDelta[i2] += d * row[i2]
+						}
+					}
+					delta = nextDelta
+				}
+			}
+			step++
+			scale := 1 / float64(len(batch))
+			for li, l := range n.layers {
+				adam(l.w, gw[li], l.mw, l.vw, c.LearningRate, scale, step)
+				adam(l.b, gb[li], l.mb, l.vb, c.LearningRate, scale, step)
+			}
+		}
+	}
+}
+
+// adam applies one Adam update to params given accumulated gradients.
+func adam(params, grads, m, v []float64, lr, scale float64, step int) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	for i := range params {
+		g := grads[i] * scale
+		m[i] = beta1*m[i] + (1-beta1)*g
+		v[i] = beta2*v[i] + (1-beta2)*g*g
+		mhat := m[i] / bc1
+		vhat := v[i] / bc2
+		params[i] -= lr * mhat / (math.Sqrt(vhat) + eps)
+	}
+}
+
+// forward computes activations; acts[0] is the input, acts[len] the
+// output. pre holds pre-activation values for ReLU gradients.
+func (n *Network) forward(x []float64, acts, pre [][]float64) {
+	acts[0] = x
+	for li, l := range n.layers {
+		if pre[li] == nil {
+			pre[li] = make([]float64, l.out)
+		}
+		out := make([]float64, l.out)
+		in := acts[li]
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i := range row {
+				sum += row[i] * in[i]
+			}
+			pre[li][o] = sum
+			if li < len(n.layers)-1 && sum < 0 {
+				sum = 0 // ReLU on hidden layers, linear output
+			}
+			out[o] = sum
+		}
+		acts[li+1] = out
+	}
+}
+
+// Predict returns the network's estimate for one input row.
+func (n *Network) Predict(row []float64) float64 {
+	if len(row) != len(n.inMean) {
+		panic(fmt.Sprintf("ann: %d features, trained on %d", len(row), len(n.inMean)))
+	}
+	acts := make([][]float64, len(n.layers)+1)
+	pre := make([][]float64, len(n.layers))
+	n.forward(n.normIn(row), acts, pre)
+	return acts[len(n.layers)][0]*n.outSd + n.outMu
+}

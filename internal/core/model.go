@@ -1,0 +1,372 @@
+// Package core implements model-driven computational sprinting, the
+// paper's contribution: performance models that map sprinting policies and
+// workload conditions to expected response time, so policies can be
+// compared without deploying them (Figure 2).
+//
+// Three models are provided behind one interface, mirroring Table 1(A):
+//
+//   - Hybrid — the paper's approach: workload profiling feeds an
+//     effective-sprint-rate calibration (internal/calib); a random
+//     decision forest (internal/forest) learns effective sprint rate from
+//     conditions and policies; a timeout-aware queue simulator
+//     (internal/queuesim) turns the effective rate into response time.
+//   - NoML — the ablation: the queue simulator driven by the raw marginal
+//     sprint rate, no machine learning.
+//   - ANN — the direct-mapping baseline: a deep MLP from inputs straight
+//     to response time.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mdsprint/internal/ann"
+	"mdsprint/internal/calib"
+	"mdsprint/internal/dist"
+	"mdsprint/internal/forest"
+	"mdsprint/internal/profiler"
+	"mdsprint/internal/queuesim"
+)
+
+// Scenario is one prediction request: a sprinting policy plus workload
+// conditions, expressed in the profiler's vocabulary.
+type Scenario struct {
+	Cond profiler.Condition
+	// ArrivalRate in queries/second. Zero derives it from
+	// Cond.Utilization and the dataset's measured service rate.
+	ArrivalRate float64
+}
+
+// arrivalRate resolves the scenario's arrival rate against a dataset.
+func (s Scenario) arrivalRate(ds *profiler.Dataset) float64 {
+	if s.ArrivalRate > 0 {
+		return s.ArrivalRate
+	}
+	return s.Cond.Utilization * ds.ServiceRate
+}
+
+// Prediction is a model's expected response-time answer.
+type Prediction struct {
+	MeanRT float64
+	// P95RT and P99RT are populated by simulator-backed models (NaN
+	// for the direct-mapping ANN).
+	P95RT float64
+	P99RT float64
+	// SprintRate is the rate the simulator used (mu_e for Hybrid,
+	// mu_m for NoML, 0 for ANN).
+	SprintRate float64
+}
+
+// Model predicts response time for scenarios against a profiled dataset.
+type Model interface {
+	Name() string
+	Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error)
+}
+
+// FeatureNames lists the predictive features shared by the forest and the
+// ANN, in order. They are the paper's Figure 5 columns (lambda, mu, mu_m,
+// budget, refill, timeout) plus normalised derivatives that help the
+// learners generalise across workloads.
+func FeatureNames() []string {
+	return []string{
+		"lambda_qps",
+		"utilization",
+		"mu_qps",
+		"mum_qps",
+		"marginal_speedup",
+		"timeout_s",
+		"timeout_services",
+		"refill_s",
+		"budget_pct",
+		"budget_s",
+		"arrival_pareto",
+	}
+}
+
+// Features encodes a scenario against its dataset.
+func Features(ds *profiler.Dataset, sc Scenario) []float64 {
+	lambda := sc.arrivalRate(ds)
+	mu := ds.ServiceRate
+	mum := conditionMarginal(ds, sc.Cond)
+	pareto := 0.0
+	if sc.Cond.ArrivalKind == dist.KindPareto {
+		pareto = 1
+	}
+	return []float64{
+		lambda,
+		lambda / mu,
+		mu,
+		mum,
+		mum / mu,
+		sc.Cond.Timeout,
+		sc.Cond.Timeout * mu,
+		sc.Cond.RefillTime,
+		sc.Cond.BudgetPct,
+		sc.Cond.BudgetPct * sc.Cond.RefillTime,
+		pareto,
+	}
+}
+
+// conditionMarginal mirrors calib's commanded-speedup clipping.
+func conditionMarginal(ds *profiler.Dataset, cond profiler.Condition) float64 {
+	mum := ds.MarginalRate
+	if cond.Speedup > 0 {
+		if cap := cond.Speedup * ds.ServiceRate; cap < mum {
+			mum = cap
+		}
+	}
+	return mum
+}
+
+// TrainingSet couples a profiled dataset with the observations used for
+// training (typically the 80% split of its conditions).
+type TrainingSet struct {
+	Dataset      *profiler.Dataset
+	Observations []profiler.Observation
+}
+
+// simulate runs the timeout-aware queue simulator for a scenario at the
+// given sprint rate.
+func simulate(ds *profiler.Dataset, sc Scenario, rate float64, queries, reps, workers int, seed uint64) (Prediction, error) {
+	if len(ds.ServiceSamples) == 0 {
+		return Prediction{}, fmt.Errorf("core: dataset %s/%s has no service samples", ds.MixName, ds.MechName)
+	}
+	p := queuesim.Params{
+		ArrivalRate:   sc.arrivalRate(ds),
+		ArrivalKind:   sc.Cond.ArrivalKind,
+		Service:       dist.NewEmpirical(ds.ServiceSamples),
+		ServiceRate:   ds.ServiceRate,
+		SprintRate:    rate,
+		Timeout:       sc.Cond.Timeout,
+		BudgetSeconds: sc.Cond.Policy().BudgetSeconds,
+		RefillTime:    sc.Cond.RefillTime,
+		NumQueries:    queries,
+		Warmup:        queries / 10,
+		Seed:          seed,
+	}
+	pred, err := queuesim.Predict(p, reps, workers)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{
+		MeanRT:     pred.MeanRT,
+		P95RT:      pred.P95RT,
+		P99RT:      pred.P99RT,
+		SprintRate: rate,
+	}, nil
+}
+
+// Evaluation compares a model's predictions to held-out observations.
+type Evaluation struct {
+	Predicted []float64
+	Observed  []float64
+	Errors    []float64
+}
+
+// Evaluate predicts every observation's condition and collects absolute
+// relative errors, the metric of Figures 7-10.
+func Evaluate(m Model, ds *profiler.Dataset, obs []profiler.Observation) (Evaluation, error) {
+	ev := Evaluation{
+		Predicted: make([]float64, 0, len(obs)),
+		Observed:  make([]float64, 0, len(obs)),
+		Errors:    make([]float64, 0, len(obs)),
+	}
+	for _, o := range obs {
+		pred, err := m.Predict(ds, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
+		if err != nil {
+			return Evaluation{}, fmt.Errorf("core: evaluating %s: %w", o.Cond, err)
+		}
+		ev.Predicted = append(ev.Predicted, pred.MeanRT)
+		ev.Observed = append(ev.Observed, o.MeanRT)
+		ev.Errors = append(ev.Errors, math.Abs(pred.MeanRT-o.MeanRT)/o.MeanRT)
+	}
+	return ev, nil
+}
+
+// annFeaturesAndTargets flattens training sets into the ANN's direct
+// input-to-response-time form.
+func annFeaturesAndTargets(sets []TrainingSet) ([][]float64, []float64) {
+	var X [][]float64
+	var Y []float64
+	for _, set := range sets {
+		for _, o := range set.Observations {
+			X = append(X, Features(set.Dataset, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate}))
+			Y = append(Y, o.MeanRT)
+		}
+	}
+	return X, Y
+}
+
+// ANN is the direct-mapping baseline model.
+type ANN struct {
+	net *ann.Network
+}
+
+// TrainANN fits the Table 1(A) baseline on the training sets.
+func TrainANN(sets []TrainingSet, cfg ann.Config) (*ANN, error) {
+	X, Y := annFeaturesAndTargets(sets)
+	if len(X) == 0 {
+		return nil, fmt.Errorf("core: no ANN training observations")
+	}
+	net, err := ann.Train(X, Y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ANN{net: net}, nil
+}
+
+func (a *ANN) Name() string { return "ANN" }
+
+// Predict maps the scenario's features straight to mean response time.
+func (a *ANN) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
+	rt := a.net.Predict(Features(ds, sc))
+	if rt < 0 {
+		rt = 0
+	}
+	return Prediction{MeanRT: rt, P95RT: math.NaN(), P99RT: math.NaN()}, nil
+}
+
+// NoML is the simulator-only ablation: marginal sprint rate in, response
+// time out, no learning.
+type NoML struct {
+	// SimQueries and SimReps size each prediction (defaults 4000/2).
+	SimQueries int
+	SimReps    int
+	Workers    int
+	Seed       uint64
+}
+
+func (n *NoML) Name() string { return "No-ML" }
+
+func (n *NoML) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
+	queries, reps := n.SimQueries, n.SimReps
+	if queries == 0 {
+		queries = 4000
+	}
+	if reps == 0 {
+		reps = 2
+	}
+	return simulate(ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Workers, n.Seed)
+}
+
+// ensure interface conformance.
+var (
+	_ Model = (*ANN)(nil)
+	_ Model = (*NoML)(nil)
+	_ Model = (*Hybrid)(nil)
+)
+
+// Hybrid is the paper's model. See package documentation.
+type Hybrid struct {
+	forest *forest.Forest
+	// records retains the calibrated training rows for inspection.
+	records []calib.Record
+
+	simQueries int
+	simReps    int
+	workers    int
+	seed       uint64
+}
+
+// HybridOptions tunes hybrid training and prediction.
+type HybridOptions struct {
+	Forest forest.Config
+	Calib  calib.Options
+	// SimQueries and SimReps size each prediction (defaults 4000/2).
+	SimQueries int
+	SimReps    int
+	Workers    int
+	Seed       uint64
+}
+
+// TrainHybrid calibrates effective sprint rates for every training
+// observation and fits the random decision forest on them.
+func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: no training sets")
+	}
+	var samples []forest.Sample
+	var records []calib.Record
+	for _, set := range sets {
+		recs := calib.CalibrateDataset(set.Dataset, set.Observations, o.Calib)
+		for i, rec := range recs {
+			obs := set.Observations[i]
+			samples = append(samples, forest.Sample{
+				Features: Features(set.Dataset, Scenario{Cond: obs.Cond, ArrivalRate: obs.ArrivalRate}),
+				X:        rec.MarginalRate,
+				Y:        rec.EffectiveRate,
+			})
+		}
+		records = append(records, recs...)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training observations")
+	}
+	fcfg := o.Forest
+	if fcfg.Seed == 0 {
+		fcfg.Seed = o.Seed + 1
+	}
+	f, err := forest.Train(samples, FeatureNames(), fcfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hybrid{
+		forest:     f,
+		records:    records,
+		simQueries: o.SimQueries,
+		simReps:    o.SimReps,
+		workers:    o.Workers,
+		seed:       o.Seed,
+	}
+	if h.simQueries == 0 {
+		h.simQueries = 4000
+	}
+	if h.simReps == 0 {
+		h.simReps = 2
+	}
+	return h, nil
+}
+
+// NewHybridFromForest assembles a hybrid model around a pre-trained
+// forest — the ablation path for comparing forest configurations end to
+// end without re-running calibration.
+func NewHybridFromForest(f *forest.Forest, simQueries, simReps, workers int, seed uint64) *Hybrid {
+	if simQueries == 0 {
+		simQueries = 4000
+	}
+	if simReps == 0 {
+		simReps = 2
+	}
+	return &Hybrid{forest: f, simQueries: simQueries, simReps: simReps, workers: workers, seed: seed}
+}
+
+func (h *Hybrid) Name() string { return "Hybrid" }
+
+// EffectiveRate returns the forest's mu_e estimate for a scenario,
+// clamped to the physically sensible band [0.5*mu, 3*mu_m]. The band
+// extends below the service rate because congested toggling can make
+// sprints net-negative (Section 2.3's runtime factors).
+func (h *Hybrid) EffectiveRate(ds *profiler.Dataset, sc Scenario) float64 {
+	mum := conditionMarginal(ds, sc.Cond)
+	rate := h.forest.Predict(Features(ds, sc), mum)
+	if min := 0.5 * ds.ServiceRate; rate < min {
+		rate = min
+	}
+	if max := 3 * mum; rate > max {
+		rate = max
+	}
+	return rate
+}
+
+// Predict runs the Figure 2 pipeline: features -> forest -> effective
+// sprint rate -> timeout-aware queue simulation -> response time.
+func (h *Hybrid) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
+	return simulate(ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.workers, h.seed)
+}
+
+// Records exposes the calibrated training rows (for diagnostics and the
+// experiment harness).
+func (h *Hybrid) Records() []calib.Record { return h.records }
+
+// Importances exposes the forest's feature importances.
+func (h *Hybrid) Importances() []forest.Importance { return h.forest.Importances() }

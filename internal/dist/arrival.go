@@ -1,0 +1,53 @@
+package dist
+
+import "fmt"
+
+// Kind names an interarrival (or service) distribution family in the
+// experiment grids. The paper's cluster-sampling centroids use exponential
+// and Pareto arrivals; deterministic arrivals are used in simulator
+// validation tests.
+type Kind string
+
+const (
+	// KindExponential denotes Poisson arrivals (M in Kendall notation).
+	KindExponential Kind = "exponential"
+	// KindPareto denotes heavy-tailed arrivals, truncated so the
+	// requested rate is honoured (paper uses alpha = 0.5).
+	KindPareto Kind = "pareto"
+	// KindDeterministic denotes fixed-interval arrivals (D).
+	KindDeterministic Kind = "deterministic"
+)
+
+// ParetoAlpha is the tail index used for heavy-tailed arrival processes.
+// The paper's query-mix study sets alpha = 0.5 (Section 3.4).
+const ParetoAlpha = 0.5
+
+// paretoCapFactor bounds truncated-Pareto interarrival gaps at this
+// multiple of the mean so that a finite arrival rate exists despite
+// alpha < 1. The cap also bounds the variance of mean-response-time
+// estimates: with alpha = 0.5 an uncapped tail would need millions of
+// samples per measurement before run means stabilise.
+const paretoCapFactor = 10
+
+// ForRate builds an interarrival distribution of the given family whose mean
+// interarrival time is 1/rate.
+func ForRate(kind Kind, rate float64) Dist {
+	if rate <= 0 {
+		panic(fmt.Sprintf("dist: arrival rate %v must be positive", rate))
+	}
+	switch kind {
+	case KindExponential:
+		return NewExponential(rate)
+	case KindPareto:
+		return ParetoForRate(rate, ParetoAlpha, paretoCapFactor)
+	case KindDeterministic:
+		return Deterministic{Value: 1 / rate}
+	default:
+		panic(fmt.Sprintf("dist: unknown distribution kind %q", kind))
+	}
+}
+
+// Kinds lists the supported families in a stable order.
+func Kinds() []Kind {
+	return []Kind{KindExponential, KindPareto, KindDeterministic}
+}

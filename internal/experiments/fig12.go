@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/dist"
+	"mdsprint/internal/explore"
+	"mdsprint/internal/mech"
+	"mdsprint/internal/policies"
+	"mdsprint/internal/profiler"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/workload"
+)
+
+// fig12Setup describes one burst configuration of Section 4.3.
+type fig12Setup struct {
+	Name string
+	// Speedup commanded during sprints (0 = full throttle release, the
+	// big-burst 5x; small-burst commands ~3x).
+	Speedup float64
+	// BudgetPct of the refill window.
+	BudgetPct float64
+}
+
+// Fig12Curve is RT-vs-timeout for one setup.
+type Fig12Curve struct {
+	Setup    fig12Setup
+	Timeouts []float64
+	RTs      []float64
+	// Baseline policies resolved against this setup.
+	FewToManyTimeout  float64
+	FewToManyRT       float64
+	AdrenalineTimeout float64
+	AdrenalineRT      float64
+	ModelBestTimeout  float64
+	ModelBestRT       float64
+}
+
+// Fig12AB is Figure 12(A)/(B): response time across timeout settings for
+// big-burst and small-burst sprinting, with the Few-to-Many and
+// Adrenaline baselines and the model-driven (annealed) best.
+type Fig12AB struct {
+	Workload string
+	SLO      float64 // 1.15x the no-throttle response time
+	Curves   []Fig12Curve
+}
+
+// fig12RefillTime is the budget window used in the Section 4.3 studies.
+const fig12RefillTime = 600
+
+// fig12Dataset profiles the mix under 20% CPU throttling, including
+// commanded-speedup conditions so the model sees small-burst behaviour
+// during training.
+func (l *Lab) fig12Dataset(mix workload.Mix, tag string) *profiler.Dataset {
+	key := datasetKey(mix, mech.NewThrottle(0.20), tag)
+	l.mu.Lock()
+	if ds, ok := l.datasets[key]; ok {
+		l.mu.Unlock()
+		return ds
+	}
+	l.mu.Unlock()
+	base := profiler.PaperGrid().Sample(l.Scale.GridSamples, l.Scale.Seed+83)
+	conds := make([]profiler.Condition, 0, 2*len(base))
+	for i, c := range base {
+		conds = append(conds, c)
+		if i%2 == 0 {
+			c.Speedup = 3
+			conds = append(conds, c)
+		}
+	}
+	p := &profiler.Profiler{
+		Mix:           mix,
+		Mechanism:     mech.NewThrottle(0.20),
+		QueriesPerRun: l.Scale.ProfQueries,
+		Seed:          l.Scale.Seed + hashString(key),
+	}
+	ds := p.Profile(conds)
+	l.mu.Lock()
+	l.datasets[key] = ds
+	l.mu.Unlock()
+	return ds
+}
+
+// noThrottleRT simulates the mix at its unthrottled (sprint) rate to set
+// the SLO reference.
+func noThrottleRT(lab *Lab, ds *profiler.Dataset, arrivalRate float64) float64 {
+	// Unthrottled means the marginal rate is the sustained rate:
+	// service samples shrink by the marginal speedup.
+	scale := ds.ServiceRate / ds.MarginalRate
+	scaled := make([]float64, len(ds.ServiceSamples))
+	for i, s := range ds.ServiceSamples {
+		scaled[i] = s * scale
+	}
+	p := queuesim.Params{
+		ArrivalRate: arrivalRate,
+		Service:     dist.NewEmpirical(scaled),
+		ServiceRate: ds.MarginalRate,
+		Timeout:     -1,
+		NumQueries:  lab.Scale.SimQueries,
+		Warmup:      lab.Scale.SimQueries / 10,
+		Seed:        lab.Scale.Seed + 89,
+	}
+	pred, err := queuesim.Predict(p, lab.Scale.SimReps, 1)
+	if err != nil {
+		panic(err)
+	}
+	return pred.MeanRT
+}
+
+// fig12Run executes the timeout study for one mix.
+func fig12Run(lab *Lab, mix workload.Mix, tag string) (Fig12AB, error) {
+	res := Fig12AB{Workload: mix.Name}
+	ds := lab.fig12Dataset(mix, tag)
+	train, _ := lab.Split(ds, 0.9)
+	h, err := lab.Hybrid(ds, train, tag)
+	if err != nil {
+		return res, err
+	}
+	arrival := 0.8 * ds.ServiceRate // Section 4.3: 80% utilization
+	res.SLO = 1.15 * noThrottleRT(lab, ds, arrival)
+
+	setups := []fig12Setup{
+		{Name: "big-burst", Speedup: 0, BudgetPct: 0.40},
+		{Name: "small-burst", Speedup: 3, BudgetPct: 0.80},
+	}
+	timeouts := []float64{0, 25, 50, 75, 100, 150, 200, 250, 300}
+	pctx := policies.Context{
+		Dataset:     ds,
+		ArrivalRate: arrival,
+		RefillTime:  fig12RefillTime,
+		SimQueries:  lab.Scale.SimQueries,
+		SimReps:     lab.Scale.SimReps,
+		Seed:        lab.Scale.Seed + 91,
+	}
+	for _, setup := range setups {
+		curve := Fig12Curve{Setup: setup}
+		predictRT := func(timeout float64) float64 {
+			sc := core.Scenario{
+				Cond: profiler.Condition{
+					Utilization: 0.8,
+					ArrivalKind: dist.KindExponential,
+					Timeout:     timeout,
+					RefillTime:  fig12RefillTime,
+					BudgetPct:   setup.BudgetPct,
+					Speedup:     setup.Speedup,
+				},
+				ArrivalRate: arrival,
+			}
+			pred, err := h.Predict(ds, sc)
+			if err != nil {
+				panic(err)
+			}
+			return pred.MeanRT
+		}
+		for _, to := range timeouts {
+			curve.Timeouts = append(curve.Timeouts, to)
+			curve.RTs = append(curve.RTs, predictRT(to))
+		}
+		// Baselines, evaluated with the same model inputs.
+		pctxSetup := pctx
+		pctxSetup.BudgetPct = setup.BudgetPct
+		f2m, err := policies.FewToMany(pctxSetup)
+		if err != nil {
+			return res, err
+		}
+		adren, err := policies.Adrenaline(pctxSetup)
+		if err != nil {
+			return res, err
+		}
+		curve.FewToManyTimeout = f2m.Timeout
+		curve.FewToManyRT = predictRT(f2m.Timeout)
+		curve.AdrenalineTimeout = adren.Timeout
+		curve.AdrenalineRT = predictRT(adren.Timeout)
+		// Model-driven: anneal the timeout against the hybrid model.
+		best, err := explore.MinimizeTimeout(predictRT, 0, 300, explore.Options{
+			MaxIter: lab.Scale.AnnealIter, Seed: lab.Scale.Seed + 93,
+		})
+		if err != nil {
+			return res, err
+		}
+		curve.ModelBestTimeout = best.Point[0]
+		curve.ModelBestRT = best.RT
+		res.Curves = append(res.Curves, curve)
+	}
+	return res, nil
+}
+
+// Fig12A runs the Jacobi timeout study.
+func Fig12A(lab *Lab) (Fig12AB, error) {
+	return fig12Run(lab, workload.SingleClass(workload.MustByName("Jacobi")), "fig12a")
+}
+
+// Fig12B runs the mixed-workload study (Jacobi + Mem, following the
+// Section 4.3 text; the figure caption's Jacobi & Stream disagrees with
+// the analysis, which needs Mem's poor throttling speedup).
+func Fig12B(lab *Lab) (Fig12AB, error) {
+	return fig12Run(lab, workload.MixJacobiMem(), "fig12b")
+}
+
+// Table renders one timeout study.
+func (r Fig12AB) Table() Table {
+	t := Table{
+		Title:   fmt.Sprintf("Figure 12 — response time vs timeout (%s, CPU throttling, 80%% util)", r.Workload),
+		Columns: []string{"setup", "timeout", "expected RT"},
+	}
+	for _, c := range r.Curves {
+		for i := range c.Timeouts {
+			t.AddRow(c.Setup.Name, secs(c.Timeouts[i]), secs(c.RTs[i]))
+		}
+		t.AddRow(c.Setup.Name+" few-to-many", secs(c.FewToManyTimeout), secs(c.FewToManyRT))
+		t.AddRow(c.Setup.Name+" adrenaline", secs(c.AdrenalineTimeout), secs(c.AdrenalineRT))
+		t.AddRow(c.Setup.Name+" model-driven", secs(c.ModelBestTimeout), secs(c.ModelBestRT))
+		t.AddNote("%s: model-driven vs adrenaline %s, vs few-to-many %s (paper big-burst: 1.44x and 1.3x; small-burst: few-to-many matches)",
+			c.Setup.Name, ratio(c.AdrenalineRT/c.ModelBestRT), ratio(c.FewToManyRT/c.ModelBestRT))
+		worst := c.RTs[0]
+		for _, rt := range c.RTs {
+			if rt > worst {
+				worst = rt
+			}
+		}
+		t.AddNote("%s: best vs worst timeout in the sweep: %s (paper: best policies beat worst by 1.65x)",
+			c.Setup.Name, ratio(worst/c.ModelBestRT))
+	}
+	t.AddNote("SLO reference (1.15x no-throttle RT): %s", secs(r.SLO))
+	return t
+}
+
+// Fig12CResult is the budget-vs-timeout interaction study.
+type Fig12CResult struct {
+	Timeouts []float64
+	Budgets  []float64
+	// RT[timeoutIdx][budgetIdx] is the expected response time.
+	RT [][]float64
+}
+
+// Fig12C sweeps sprinting budget for three fixed timeouts on throttled
+// Jacobi, reproducing the crossover: under tight budgets loose timeouts
+// (slowest queries only) win; under loose budgets strict timeouts win.
+func Fig12C(lab *Lab) (Fig12CResult, error) {
+	res := Fig12CResult{
+		Timeouts: []float64{50, 80, 130},
+		Budgets:  []float64{0.10, 0.15, 0.20, 0.25, 0.30},
+	}
+	mix := workload.SingleClass(workload.MustByName("Jacobi"))
+	ds := lab.fig12Dataset(mix, "fig12a")
+	train, _ := lab.Split(ds, 0.9)
+	h, err := lab.Hybrid(ds, train, "fig12a")
+	if err != nil {
+		return res, err
+	}
+	arrival := 0.8 * ds.ServiceRate
+	for _, to := range res.Timeouts {
+		var row []float64
+		for _, b := range res.Budgets {
+			pred, err := h.Predict(ds, core.Scenario{
+				Cond: profiler.Condition{
+					Utilization: 0.8,
+					ArrivalKind: dist.KindExponential,
+					Timeout:     to,
+					RefillTime:  fig12RefillTime,
+					BudgetPct:   b,
+				},
+				ArrivalRate: arrival,
+			})
+			if err != nil {
+				return res, err
+			}
+			row = append(row, pred.MeanRT)
+		}
+		res.RT = append(res.RT, row)
+	}
+	return res, nil
+}
+
+// BestTimeoutAt returns the timeout with the lowest RT at budget index i.
+func (r Fig12CResult) BestTimeoutAt(i int) float64 {
+	best, bestRT := r.Timeouts[0], r.RT[0][i]
+	for ti := 1; ti < len(r.Timeouts); ti++ {
+		if r.RT[ti][i] < bestRT {
+			best, bestRT = r.Timeouts[ti], r.RT[ti][i]
+		}
+	}
+	return best
+}
+
+// Table renders the interaction study.
+func (r Fig12CResult) Table() Table {
+	t := Table{
+		Title:   "Figure 12C — response time as sprinting budget and timeout vary (Jacobi)",
+		Columns: []string{"budget %", "RT @50s", "RT @80s", "RT @130s", "best timeout"},
+	}
+	for bi, b := range r.Budgets {
+		t.AddRow(pct(b),
+			secs(r.RT[0][bi]), secs(r.RT[1][bi]), secs(r.RT[2][bi]),
+			secs(r.BestTimeoutAt(bi)))
+	}
+	t.AddNote("paper: tight budgets favour loose timeouts (sprint only the slowest); loose budgets favour strict timeouts")
+	t.AddNote("reproduction: the loose-budget half holds (strict-timeout advantage grows with budget); the tight-budget crossover flattens but does not invert here — with budgets in wall-clock sprint-seconds and uniform speedups, each budget-second buys the same speedup wherever spent, so more sprinting is always weakly better; see EXPERIMENTS.md")
+	return t
+}

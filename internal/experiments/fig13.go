@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mdsprint/internal/colocate"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/stats"
+	"mdsprint/internal/workload"
+)
+
+// Combo is one of Figure 13's workload combinations.
+type Combo struct {
+	Name      string
+	Workloads []colocate.Workload
+}
+
+// Combos returns the three Figure 13 workload combinations: four Jacobi
+// copies, a Jacobi/Stream split, and a diverse four-way combo with
+// utilizations from 50% to 80%.
+func Combos() []Combo {
+	w := func(name string, util float64) colocate.Workload {
+		return colocate.Workload{
+			Name:        name,
+			Class:       workload.MustByName(name),
+			Utilization: util,
+			ArrivalCV:   colocate.BurstyArrivalCV,
+		}
+	}
+	return []Combo{
+		{Name: "combo1 (4x Jacobi @70%)", Workloads: []colocate.Workload{
+			w("Jacobi", 0.7), w("Jacobi", 0.7), w("Jacobi", 0.7), w("Jacobi", 0.7),
+		}},
+		{Name: "combo2 (2x Jacobi @70%, 2x Stream @80%)", Workloads: []colocate.Workload{
+			w("Jacobi", 0.7), w("SparkStream", 0.8), w("Jacobi", 0.7), w("SparkStream", 0.8),
+		}},
+		{Name: "combo3 (diverse, 50-80%)", Workloads: []colocate.Workload{
+			w("Jacobi", 0.5), w("SparkStream", 0.6), w("BFS", 0.5), w("KNN", 0.6),
+		}},
+	}
+}
+
+// Fig13Row is one combo x approach outcome.
+type Fig13Row struct {
+	Combo    string
+	Approach string
+	Hosted   int
+	Revenue  float64 // per node-hour, Figure 13's y-axis
+	Plans    []colocate.Assignment
+}
+
+// Fig13Result compares AWS, model-driven budgeting and model-driven
+// sprinting on revenue per node.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// estimator sizes the colocation RT model to the lab.
+func (l *Lab) estimator() colocate.SimEstimator {
+	return colocate.SimEstimator{
+		SimQueries: l.Scale.SimQueries,
+		SimReps:    l.Scale.SimReps,
+		Seed:       l.Scale.Seed + 95,
+	}
+}
+
+// Fig13 packs each combo onto a single node under each approach.
+func Fig13(lab *Lab) Fig13Result {
+	est := lab.estimator()
+	planners := []struct {
+		name string
+		p    colocate.Planner
+	}{
+		{"aws", colocate.AWSPlanner(est)},
+		{"model-driven budgeting", colocate.BudgetPlanner(est, colocate.AWSRefill)},
+		{"model-driven sprinting", colocate.SprintPlanner(est, lab.Scale.AnnealIter, lab.Scale.Seed+97)},
+	}
+	var res Fig13Result
+	for _, combo := range Combos() {
+		for _, pl := range planners {
+			assigns, n := colocate.FillNode(combo.Workloads, pl.p)
+			res.Rows = append(res.Rows, Fig13Row{
+				Combo:    combo.Name,
+				Approach: pl.name,
+				Hosted:   n,
+				Revenue:  colocate.PricePerHour * float64(n),
+				Plans:    assigns,
+			})
+		}
+	}
+	return res
+}
+
+// Hosted returns the hosted count for one combo/approach pair (-1 if
+// missing).
+func (r Fig13Result) Hosted(combo, approach string) int {
+	for _, row := range r.Rows {
+		if row.Combo == combo && row.Approach == approach {
+			return row.Hosted
+		}
+	}
+	return -1
+}
+
+// Table renders revenue per node by combo and approach.
+func (r Fig13Result) Table() Table {
+	t := Table{
+		Title:   "Figure 13 — revenue per burstable node by sprinting policy",
+		Columns: []string{"combo", "approach", "hosted/node", "revenue $/hr"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Combo, row.Approach, fmt.Sprintf("%d", row.Hosted), fmt.Sprintf("$%.3f", row.Revenue))
+	}
+	t.AddNote("paper combo1: AWS hosts 1 (dedicated), budgeting 2, budgeting+timeout 3; combo3 hosts all four under model-driven sprinting")
+	return t
+}
+
+// TailLatencyResult reproduces the Section 4.4 tail study: the AWS policy
+// puts ~3.16x more executions past the model-driven plan's 99th
+// percentile and ~3.76x past its 99.9th.
+type TailLatencyResult struct {
+	P99Threshold  float64
+	P999Threshold float64
+	AWSFracP99    float64
+	ModelFracP99  float64
+	AWSFracP999   float64
+	ModelFracP999 float64
+	RatioP99      float64
+	RatioP999     float64
+}
+
+// TailLatency runs ground-truth-sized simulations of Jacobi at 70% under
+// the AWS plan and the model-driven sprint plan and compares their tails.
+func TailLatency(lab *Lab) TailLatencyResult {
+	est := lab.estimator()
+	w := colocate.Workload{
+		Name:        "Jacobi",
+		Class:       workload.MustByName("Jacobi"),
+		Utilization: 0.7,
+		ArrivalCV:   colocate.BurstyArrivalCV,
+	}
+	plan, ok := colocate.SprintPlanner(est, lab.Scale.AnnealIter, lab.Scale.Seed+97)(w)
+	if !ok {
+		plan, _ = colocate.BudgetPlanner(est, colocate.AWSRefill)(w)
+	}
+	// Ground truth: larger runs at fresh seeds.
+	run := func(p colocate.Plan) []float64 {
+		gt := colocate.SimEstimator{
+			SimQueries: lab.Scale.SimQueries * 4,
+			SimReps:    1,
+			Seed:       lab.Scale.Seed + 12345,
+		}
+		res := queuesim.MustRun(gt.Params(w, p))
+		return res.RTs
+	}
+	awsRTs := run(colocate.AWSPlan())
+	modelRTs := run(plan)
+	var out TailLatencyResult
+	out.P99Threshold = stats.Quantile(modelRTs, 0.99)
+	out.P999Threshold = stats.Quantile(modelRTs, 0.999)
+	out.AWSFracP99 = stats.FractionAbove(awsRTs, out.P99Threshold)
+	out.ModelFracP99 = stats.FractionAbove(modelRTs, out.P99Threshold)
+	out.AWSFracP999 = stats.FractionAbove(awsRTs, out.P999Threshold)
+	out.ModelFracP999 = stats.FractionAbove(modelRTs, out.P999Threshold)
+	if out.ModelFracP99 > 0 {
+		out.RatioP99 = out.AWSFracP99 / out.ModelFracP99
+	}
+	if out.ModelFracP999 > 0 {
+		out.RatioP999 = out.AWSFracP999 / out.ModelFracP999
+	}
+	return out
+}
+
+// Table renders the tail comparison.
+func (r TailLatencyResult) Table() Table {
+	t := Table{
+		Title:   "Section 4.4 — tail latency: AWS policy vs model-driven plan (Jacobi @70%)",
+		Columns: []string{"threshold", "AWS frac above", "model frac above", "ratio"},
+	}
+	t.AddRow(secs(r.P99Threshold), pct(r.AWSFracP99), pct(r.ModelFracP99), ratio(r.RatioP99))
+	t.AddRow(secs(r.P999Threshold), pct(r.AWSFracP999), pct(r.ModelFracP999), ratio(r.RatioP999))
+	t.AddNote("paper: AWS produces 3.16x more executions past the 99th percentile and 3.76x past the 99.9th")
+	return t
+}

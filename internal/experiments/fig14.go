@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fig14 constants from Section 4.4.
+const (
+	// ProfilingHoursPerWorkload is the paper's measured profiling cost
+	// on the DVFS platform.
+	ProfilingHoursPerWorkload = 7.2
+	// ANNProfilingMultiple reflects the ANN's larger training-data need
+	// (the low end of the paper's 6x-54x range).
+	ANNProfilingMultiple = 6
+	// ServerLifetimeHours is the typical virtualized server lifetime
+	// the paper cites (552 hours).
+	ServerLifetimeHours = 552
+)
+
+// Fig14Point is one timeline sample.
+type Fig14Point struct {
+	Hour   float64
+	AWS    float64
+	Hybrid float64
+	ANN    float64
+}
+
+// Fig14Result is the profiling-cost amortisation study: cumulative
+// revenue per node over a server lifetime for the AWS policy (earning
+// immediately) versus model-driven sprinting, which earns nothing while
+// profiling and then earns at the higher colocated rate.
+type Fig14Result struct {
+	Points []Fig14Point
+	// Rates in $/hr per node.
+	AWSRate, ModelRate float64
+	// Profiling delays in hours.
+	HybridDelay, ANNDelay float64
+	// Crossovers: first hour each model-driven curve passes AWS.
+	HybridCrossover, ANNCrossover float64
+	// LifetimeRatio is hybrid revenue over AWS revenue at the server
+	// lifetime (the paper's 1.6x headline).
+	LifetimeRatio float64
+}
+
+// Fig14 derives rates from the Figure 13 combo 3 outcome.
+func Fig14(fig13 Fig13Result) Fig14Result {
+	combo := Combos()[2].Name
+	nAWS := fig13.Hosted(combo, "aws")
+	nModel := fig13.Hosted(combo, "model-driven sprinting")
+	if nAWS < 1 {
+		nAWS = 1
+	}
+	if nModel < nAWS {
+		nModel = nAWS
+	}
+	nWorkloads := len(Combos()[2].Workloads)
+	res := Fig14Result{
+		AWSRate:     0.026 * float64(nAWS),
+		ModelRate:   0.026 * float64(nModel),
+		HybridDelay: ProfilingHoursPerWorkload * float64(nWorkloads),
+		ANNDelay:    ProfilingHoursPerWorkload * ANNProfilingMultiple * float64(nWorkloads),
+	}
+	rev := func(rate, delay, t float64) float64 {
+		return rate * math.Max(0, t-delay)
+	}
+	for h := 0.0; h <= ServerLifetimeHours; h += 12 {
+		res.Points = append(res.Points, Fig14Point{
+			Hour:   h,
+			AWS:    res.AWSRate * h,
+			Hybrid: rev(res.ModelRate, res.HybridDelay, h),
+			ANN:    rev(res.ModelRate, res.ANNDelay, h),
+		})
+	}
+	// Crossover: rate_m (t - d) = rate_a t  =>  t = rate_m d / (rate_m - rate_a).
+	if res.ModelRate > res.AWSRate {
+		res.HybridCrossover = res.ModelRate * res.HybridDelay / (res.ModelRate - res.AWSRate)
+		res.ANNCrossover = res.ModelRate * res.ANNDelay / (res.ModelRate - res.AWSRate)
+	}
+	awsLifetime := res.AWSRate * ServerLifetimeHours
+	if awsLifetime > 0 {
+		res.LifetimeRatio = rev(res.ModelRate, res.HybridDelay, ServerLifetimeHours) / awsLifetime
+	}
+	return res
+}
+
+// Table renders the amortisation study.
+func (r Fig14Result) Table() Table {
+	t := Table{
+		Title:   "Figure 14 — cumulative revenue vs hours (profiling cost amortisation, combo 3)",
+		Columns: []string{"hours", "aws $", "model-driven (hybrid) $", "model-driven (ann) $"},
+	}
+	for _, p := range r.Points {
+		if int(p.Hour)%96 != 0 {
+			continue // keep the table readable; full series in Points
+		}
+		t.AddRow(fmt.Sprintf("%.0f", p.Hour),
+			fmt.Sprintf("$%.2f", p.AWS),
+			fmt.Sprintf("$%.2f", p.Hybrid),
+			fmt.Sprintf("$%.2f", p.ANN))
+	}
+	t.AddNote("hybrid breaks even at %.0f h (~%.1f days; paper: ~2.5 days); ANN at %.0f h",
+		r.HybridCrossover, r.HybridCrossover/24, r.ANNCrossover)
+	t.AddNote("lifetime (%d h) revenue ratio hybrid/AWS: %s (paper: 1.6x net of profiling)",
+		ServerLifetimeHours, ratio(r.LifetimeRatio))
+	return t
+}

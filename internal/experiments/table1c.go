@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mdsprint/internal/mech"
+	"mdsprint/internal/profiler"
+	"mdsprint/internal/sprint"
+	"mdsprint/internal/workload"
+)
+
+// Table1CRow compares one workload's measured sustained/burst throughput
+// against the published Table 1(C) values.
+type Table1CRow struct {
+	Workload             string
+	PaperSustainedQPH    float64
+	PaperBurstQPH        float64
+	MeasuredSustainedQPH float64
+	MeasuredBurstQPH     float64
+}
+
+// Table1CResult validates the testbed against the paper's throughput
+// table on the DVFS platform.
+type Table1CResult struct {
+	Rows []Table1CRow
+}
+
+// Table1C measures every catalog workload with the profiler.
+func Table1C(lab *Lab) Table1CResult {
+	var out Table1CResult
+	for _, c := range workload.Catalog() {
+		p := &profiler.Profiler{
+			Mix:           workload.SingleClass(c),
+			Mechanism:     mech.DVFS{},
+			QueriesPerRun: lab.Scale.ProfQueries,
+			Seed:          lab.Scale.Seed + 43,
+		}
+		mu, _, _ := p.MeasureServiceRate()
+		mum, _ := p.MeasureMarginalRate()
+		out.Rows = append(out.Rows, Table1CRow{
+			Workload:             c.Name,
+			PaperSustainedQPH:    c.SustainedQPH,
+			PaperBurstQPH:        c.BurstQPH,
+			MeasuredSustainedQPH: sprint.ToQPH(mu),
+			MeasuredBurstQPH:     sprint.ToQPH(mum),
+		})
+	}
+	return out
+}
+
+// MaxRelError returns the worst relative deviation from the paper values.
+func (r Table1CResult) MaxRelError() float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		for _, pair := range [][2]float64{
+			{row.MeasuredSustainedQPH, row.PaperSustainedQPH},
+			{row.MeasuredBurstQPH, row.PaperBurstQPH},
+		} {
+			if e := abs(pair[0]-pair[1]) / pair[1]; e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Table renders the comparison.
+func (r Table1CResult) Table() Table {
+	t := Table{
+		Title:   "Table 1(C) — sustained/burst throughput on DVFS (paper vs measured)",
+		Columns: []string{"workload", "paper qph", "measured qph", "paper burst", "measured burst"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload,
+			fmt.Sprintf("%.0f", row.PaperSustainedQPH),
+			fmt.Sprintf("%.1f", row.MeasuredSustainedQPH),
+			fmt.Sprintf("%.0f", row.PaperBurstQPH),
+			fmt.Sprintf("%.1f", row.MeasuredBurstQPH),
+		)
+	}
+	t.AddNote("worst relative deviation from published throughput: %s", pct(r.MaxRelError()))
+	return t
+}

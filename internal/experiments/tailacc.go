@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"mdsprint/internal/core"
+	"mdsprint/internal/mech"
+	"mdsprint/internal/stats"
+	"mdsprint/internal/workload"
+)
+
+// TailAccuracyResult grades the hybrid model's tail predictions: the
+// simulator behind it produces whole response-time distributions, so P95
+// and P99 predictions come for free — an extension beyond the paper's
+// mean-RT evaluation that matters for the SLO use cases of Section 4.
+type TailAccuracyResult struct {
+	Workload    string
+	MeanMedErr  float64
+	P95MedErr   float64
+	P99MedErr   float64
+	TestedConds int
+}
+
+// TailAccuracy evaluates mean/P95/P99 prediction error on the held-out
+// split of the lab's first workload.
+func TailAccuracy(lab *Lab) (TailAccuracyResult, error) {
+	c := workload.MustByName(lab.Scale.Workloads[0])
+	mix := workload.SingleClass(c)
+	ds := lab.Dataset(mix, mech.DVFS{})
+	train, test := lab.Split(ds, 0.8)
+	h, err := lab.Hybrid(ds, train, "fig7")
+	if err != nil {
+		return TailAccuracyResult{}, err
+	}
+	var meanE, p95E, p99E []float64
+	for _, o := range test {
+		pred, err := h.Predict(ds, core.Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
+		if err != nil {
+			return TailAccuracyResult{}, err
+		}
+		meanE = append(meanE, stats.AbsRelError(pred.MeanRT, o.MeanRT))
+		p95E = append(p95E, stats.AbsRelError(pred.P95RT, o.P95RT))
+		p99E = append(p99E, stats.AbsRelError(pred.P99RT, o.P99RT))
+	}
+	return TailAccuracyResult{
+		Workload:    c.Name,
+		MeanMedErr:  stats.Median(meanE),
+		P95MedErr:   stats.Median(p95E),
+		P99MedErr:   stats.Median(p99E),
+		TestedConds: len(test),
+	}, nil
+}
+
+// Table renders the tail-accuracy study.
+func (r TailAccuracyResult) Table() Table {
+	t := Table{
+		Title:   "Extension — tail-prediction accuracy of the hybrid model (" + r.Workload + ")",
+		Columns: []string{"statistic", "median abs. rel. error"},
+	}
+	t.AddRow("mean RT", pct(r.MeanMedErr))
+	t.AddRow("p95 RT", pct(r.P95MedErr))
+	t.AddRow("p99 RT", pct(r.P99MedErr))
+	t.AddNote("the simulator-backed hybrid predicts whole RT distributions; the paper evaluates means only (%d held-out conditions)", r.TestedConds)
+	return t
+}

@@ -1,0 +1,168 @@
+// Package explore implements the paper's policy-space exploration
+// (Section 4.2): simulated annealing over sprinting-policy settings,
+// guided by a performance model's expected response time. The algorithm
+// is the paper's: random restart-free annealing with neighbour proposals
+// drawn from a narrow window, acceptance probability
+//
+//	a = 1                     if RT_old - RT_new > 0
+//	a = exp((RT_old-RT_new)/Z) otherwise                (Equation 5)
+//
+// and Z starting at 1 and decaying 10% per 100 settings explored.
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"mdsprint/internal/dist"
+)
+
+// Objective maps a candidate point to its expected response time (lower
+// is better). Implementations typically call a core.Model.
+type Objective func(point []float64) float64
+
+// Space bounds the search: one entry per dimension.
+type Space struct {
+	// Lo and Hi are inclusive bounds per dimension.
+	Lo, Hi []float64
+	// NeighborRange is the half-width of the neighbour proposal window
+	// per dimension. The paper samples timeouts from [t-100, t+100].
+	NeighborRange []float64
+}
+
+func (s Space) validate() error {
+	if len(s.Lo) == 0 || len(s.Lo) != len(s.Hi) || len(s.Lo) != len(s.NeighborRange) {
+		return fmt.Errorf("explore: space dimensions inconsistent")
+	}
+	for d := range s.Lo {
+		if s.Hi[d] < s.Lo[d] {
+			return fmt.Errorf("explore: dimension %d has hi < lo", d)
+		}
+		if s.NeighborRange[d] <= 0 {
+			return fmt.Errorf("explore: dimension %d needs a positive neighbour range", d)
+		}
+	}
+	return nil
+}
+
+// Options tunes the annealing run.
+type Options struct {
+	// MaxIter is the number of neighbour proposals (default 300).
+	MaxIter int
+	// InitialZ and ZDecayPer100 implement Equation 5's schedule
+	// (defaults 1.0 and 0.9).
+	InitialZ     float64
+	ZDecayPer100 float64
+	// Seed drives proposals.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 300
+	}
+	if o.InitialZ == 0 {
+		o.InitialZ = 1
+	}
+	if o.ZDecayPer100 == 0 {
+		o.ZDecayPer100 = 0.9
+	}
+	return o
+}
+
+// Step records one accepted state for diagnostics.
+type Step struct {
+	Point []float64
+	RT    float64
+}
+
+// Result is the search outcome.
+type Result struct {
+	// Best point found and its expected response time.
+	Point []float64
+	RT    float64
+	// Evaluations counts objective calls.
+	Evaluations int
+	// Trace holds the accepted-state history.
+	Trace []Step
+}
+
+// Minimize anneals over the space, returning the best point seen. The
+// objective is treated as a black box; noisy objectives are fine (the
+// returned RT is the best observed value).
+func Minimize(obj Objective, space Space, opts Options) (Result, error) {
+	if err := space.validate(); err != nil {
+		return Result{}, err
+	}
+	o := opts.withDefaults()
+	r := dist.NewRNG(o.Seed)
+	dims := len(space.Lo)
+
+	// Step 1: random initial setting.
+	cur := make([]float64, dims)
+	for d := range cur {
+		cur[d] = space.Lo[d] + r.Float64()*(space.Hi[d]-space.Lo[d])
+	}
+	curRT := obj(cur)
+	res := Result{
+		Point:       append([]float64(nil), cur...),
+		RT:          curRT,
+		Evaluations: 1,
+		Trace:       []Step{{Point: append([]float64(nil), cur...), RT: curRT}},
+	}
+	z := o.InitialZ
+	for i := 0; i < o.MaxIter; i++ {
+		// Step 2: neighbour from the narrow window, one dimension
+		// perturbed per proposal (all dimensions for 1-D spaces).
+		cand := append([]float64(nil), cur...)
+		d := 0
+		if dims > 1 {
+			d = r.Intn(dims)
+		}
+		cand[d] += (r.Float64()*2 - 1) * space.NeighborRange[d]
+		cand[d] = clamp(cand[d], space.Lo[d], space.Hi[d])
+		candRT := obj(cand)
+		res.Evaluations++
+		// Step 3: accept improvements; accept regressions with
+		// probability exp((RT_old - RT_new)/Z).
+		accept := candRT < curRT
+		if !accept {
+			a := math.Exp((curRT - candRT) / z)
+			accept = r.Float64() < a
+		}
+		if accept {
+			cur, curRT = cand, candRT
+			res.Trace = append(res.Trace, Step{Point: append([]float64(nil), cand...), RT: candRT})
+			if candRT < res.RT {
+				res.RT = candRT
+				res.Point = append([]float64(nil), cand...)
+			}
+		}
+		// Z decays 10% per 100 settings explored.
+		if (i+1)%100 == 0 {
+			z *= o.ZDecayPer100
+		}
+	}
+	return res, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MinimizeTimeout is the paper's MINRT search (Equation 4): anneal the
+// timeout alone over [lo, hi] with the +-100 s neighbour window.
+func MinimizeTimeout(obj func(timeout float64) float64, lo, hi float64, opts Options) (Result, error) {
+	space := Space{
+		Lo:            []float64{lo},
+		Hi:            []float64{hi},
+		NeighborRange: []float64{100},
+	}
+	return Minimize(func(p []float64) float64 { return obj(p[0]) }, space, opts)
+}

@@ -1,0 +1,157 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	obj := func(p []float64) float64 { return (p[0] - 42) * (p[0] - 42) }
+	res, err := Minimize(obj, Space{
+		Lo: []float64{0}, Hi: []float64{300}, NeighborRange: []float64{100},
+	}, Options{MaxIter: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Point[0]-42) > 5 {
+		t.Fatalf("found %v, want ~42", res.Point[0])
+	}
+	if res.Evaluations != 501 {
+		t.Fatalf("evaluations %d, want 501", res.Evaluations)
+	}
+}
+
+func TestMinimizeEscapesLocalMinimum(t *testing.T) {
+	// Double well: local minimum at 20 (value 5), global at 200
+	// (value 0). A hill climber starting near 20 gets stuck; the
+	// acceptance probability must let annealing cross the barrier.
+	obj := func(p []float64) float64 {
+		x := p[0]
+		local := 5 + 0.01*(x-20)*(x-20)
+		global := 0 + 0.01*(x-200)*(x-200)
+		return math.Min(local, global)
+	}
+	found := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := Minimize(obj, Space{
+			Lo: []float64{0}, Hi: []float64{300}, NeighborRange: []float64{100},
+		}, Options{MaxIter: 600, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Point[0]-200) < 15 {
+			found++
+		}
+	}
+	if found < 7 {
+		t.Fatalf("annealing found the global minimum in only %d/10 runs", found)
+	}
+}
+
+func TestMinimizeMultiDim(t *testing.T) {
+	obj := func(p []float64) float64 {
+		return (p[0]-10)*(p[0]-10) + (p[1]-0.4)*(p[1]-0.4)*1000
+	}
+	res, err := Minimize(obj, Space{
+		Lo:            []float64{0, 0},
+		Hi:            []float64{100, 1},
+		NeighborRange: []float64{20, 0.2},
+	}, Options{MaxIter: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Point[0]-10) > 4 || math.Abs(res.Point[1]-0.4) > 0.08 {
+		t.Fatalf("found %v, want ~[10, 0.4]", res.Point)
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	obj := func(p []float64) float64 { return -p[0] } // wants +inf
+	res, err := Minimize(obj, Space{
+		Lo: []float64{0}, Hi: []float64{50}, NeighborRange: []float64{100},
+	}, Options{MaxIter: 300, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Point[0] > 50 || res.Point[0] < 0 {
+		t.Fatalf("point %v escaped bounds", res.Point[0])
+	}
+	if math.Abs(res.Point[0]-50) > 1e-9 {
+		t.Fatalf("should pin to upper bound, got %v", res.Point[0])
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	obj := func(p []float64) float64 { return math.Abs(p[0] - 77) }
+	run := func() Result {
+		res, _ := Minimize(obj, Space{
+			Lo: []float64{0}, Hi: []float64{300}, NeighborRange: []float64{100},
+		}, Options{MaxIter: 200, Seed: 5})
+		return res
+	}
+	a, b := run(), run()
+	if a.Point[0] != b.Point[0] || a.RT != b.RT {
+		t.Fatal("annealing not deterministic for fixed seed")
+	}
+}
+
+func TestMinimizeNoisyObjective(t *testing.T) {
+	r := dist.NewRNG(6)
+	obj := func(p []float64) float64 {
+		return (p[0]-150)*(p[0]-150)*0.01 + r.NormFloat64()*0.5
+	}
+	res, err := Minimize(obj, Space{
+		Lo: []float64{0}, Hi: []float64{300}, NeighborRange: []float64{100},
+	}, Options{MaxIter: 800, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Point[0]-150) > 30 {
+		t.Fatalf("noisy search found %v, want ~150", res.Point[0])
+	}
+}
+
+func TestMinimizeTimeoutWrapper(t *testing.T) {
+	res, err := MinimizeTimeout(func(to float64) float64 {
+		return math.Abs(to - 120)
+	}, 0, 300, Options{MaxIter: 400, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Point) != 1 || math.Abs(res.Point[0]-120) > 8 {
+		t.Fatalf("timeout search found %v, want ~120", res.Point)
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	obj := func(p []float64) float64 { return 0 }
+	bad := []Space{
+		{},
+		{Lo: []float64{0}, Hi: []float64{1}},
+		{Lo: []float64{0}, Hi: []float64{-1}, NeighborRange: []float64{1}},
+		{Lo: []float64{0}, Hi: []float64{1}, NeighborRange: []float64{0}},
+	}
+	for i, s := range bad {
+		if _, err := Minimize(obj, s, Options{}); err == nil {
+			t.Errorf("space %d accepted", i)
+		}
+	}
+}
+
+func TestTraceRecordsAcceptedStates(t *testing.T) {
+	obj := func(p []float64) float64 { return p[0] }
+	res, _ := Minimize(obj, Space{
+		Lo: []float64{0}, Hi: []float64{100}, NeighborRange: []float64{30},
+	}, Options{MaxIter: 200, Seed: 9})
+	if len(res.Trace) < 2 {
+		t.Fatalf("trace too short: %d", len(res.Trace))
+	}
+	// Every trace entry's RT must be the objective at its point.
+	for _, s := range res.Trace {
+		if s.RT != s.Point[0] {
+			t.Fatalf("trace entry inconsistent: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/stats"
+)
+
+// synthSamples generates y = f(features)*x + g(features) + noise data.
+func synthSamples(n int, seed uint64, f func(fs []float64, x float64) float64, noise float64) []Sample {
+	r := dist.NewRNG(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		fs := []float64{r.Float64() * 10, r.Float64() * 5, r.Float64()}
+		x := 1 + r.Float64()*4
+		out[i] = Sample{
+			Features: fs,
+			X:        x,
+			Y:        f(fs, x) + noise*r.NormFloat64(),
+		}
+	}
+	return out
+}
+
+var names3 = []string{"f0", "f1", "f2"}
+
+func TestTrainValidation(t *testing.T) {
+	cases := map[string]struct {
+		samples []Sample
+		names   []string
+	}{
+		"empty":         {nil, names3},
+		"no features":   {[]Sample{{Features: nil, X: 1, Y: 1}}, nil},
+		"name mismatch": {[]Sample{{Features: []float64{1}, X: 1, Y: 1}}, names3},
+		"ragged": {[]Sample{
+			{Features: []float64{1, 2, 3}, X: 1, Y: 1},
+			{Features: []float64{1}, X: 1, Y: 1},
+		}, names3},
+		"nan": {[]Sample{{Features: []float64{1, 2, 3}, X: math.NaN(), Y: 1}}, names3},
+	}
+	for name, c := range cases {
+		if _, err := Train(c.samples, c.names, Config{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLearnsPiecewiseConstant(t *testing.T) {
+	// y depends on a threshold in f0 — the canonical tree shape.
+	f := func(fs []float64, x float64) float64 {
+		if fs[0] < 5 {
+			return 10
+		}
+		return 20
+	}
+	train := synthSamples(400, 1, f, 0.1)
+	forest, err := Train(train, names3, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthSamples(100, 3, f, 0)
+	for _, s := range test {
+		if math.Abs(s.Features[0]-5) < 0.3 {
+			continue // threshold location is only learnable to data resolution
+		}
+		got := forest.Predict(s.Features, s.X)
+		if math.Abs(got-s.Y) > 1.0 {
+			t.Fatalf("features %v: predict %v, want %v", s.Features, got, s.Y)
+		}
+	}
+}
+
+func TestLearnsLinearInX(t *testing.T) {
+	// y = a(f0)*x with a switching on f0: leaves must capture the
+	// linear-in-x structure via their regression fits.
+	f := func(fs []float64, x float64) float64 {
+		if fs[0] < 5 {
+			return 1.5 * x
+		}
+		return 0.8 * x
+	}
+	train := synthSamples(600, 5, f, 0.05)
+	forest, err := Train(train, names3, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synthSamples(150, 7, f, 0)
+	var preds, wants []float64
+	for _, s := range test {
+		preds = append(preds, forest.Predict(s.Features, s.X))
+		wants = append(wants, s.Y)
+	}
+	if med := stats.MedianAbsRelError(preds, wants); med > 0.05 {
+		t.Fatalf("median error %v on linear-in-x target", med)
+	}
+}
+
+func TestPredictParamsAveragesVotes(t *testing.T) {
+	// A constant-slope target: every leaf's fit should be near (a=2,
+	// b=1), and so should the averaged vote.
+	f := func(fs []float64, x float64) float64 { return 2*x + 1 }
+	train := synthSamples(300, 9, f, 0.02)
+	forest, err := Train(train, names3, Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := forest.PredictParams([]float64{5, 2, 0.5})
+	if math.Abs(a-2) > 0.2 || math.Abs(b-1) > 0.6 {
+		t.Fatalf("averaged vote (a=%v, b=%v), want ~(2, 1)", a, b)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	train := synthSamples(200, 11, func(fs []float64, x float64) float64 { return fs[0] + x }, 0.1)
+	f1, _ := Train(train, names3, Config{Seed: 12})
+	f2, _ := Train(train, names3, Config{Seed: 12})
+	probe := []float64{3, 1, 0.2}
+	if f1.Predict(probe, 2) != f2.Predict(probe, 2) {
+		t.Fatal("training is not deterministic for a fixed seed")
+	}
+	f3, _ := Train(train, names3, Config{Seed: 13})
+	if f1.Predict(probe, 2) == f3.Predict(probe, 2) {
+		t.Fatal("different seeds produced identical forests (suspicious)")
+	}
+}
+
+func TestNumTreesHonoursConfig(t *testing.T) {
+	train := synthSamples(50, 14, func(fs []float64, x float64) float64 { return x }, 0.1)
+	f, _ := Train(train, names3, Config{Trees: 25, Seed: 15})
+	if f.NumTrees() != 25 {
+		t.Fatalf("got %d trees, want 25", f.NumTrees())
+	}
+	fDefault, _ := Train(train, names3, Config{Seed: 15})
+	if fDefault.NumTrees() != 10 {
+		t.Fatalf("default trees %d, want the paper's 10", fDefault.NumTrees())
+	}
+}
+
+func TestImportancesIdentifyActiveFeature(t *testing.T) {
+	// Only f1 matters.
+	f := func(fs []float64, x float64) float64 {
+		if fs[1] > 2.5 {
+			return 50
+		}
+		return 10
+	}
+	train := synthSamples(500, 16, f, 0.1)
+	forest, _ := Train(train, names3, Config{Seed: 17, FeatureFrac: 1})
+	imps := forest.Importances()
+	if imps[0].Name != "f1" {
+		t.Fatalf("top importance %v, want f1", imps[0])
+	}
+	if imps[0].Share < 0.8 {
+		t.Fatalf("f1 share %v, want dominant", imps[0].Share)
+	}
+	total := 0.0
+	for _, im := range imps {
+		total += im.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("importance shares sum to %v", total)
+	}
+}
+
+func TestPredictPanicsOnWidthMismatch(t *testing.T) {
+	train := synthSamples(50, 18, func(fs []float64, x float64) float64 { return x }, 0.1)
+	f, _ := Train(train, names3, Config{Seed: 19})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on feature width mismatch")
+		}
+	}()
+	f.Predict([]float64{1}, 2)
+}
+
+func TestMaxDepthLimitsTree(t *testing.T) {
+	// With MaxDepth 1 the forest can make only one split per tree, so a
+	// two-threshold target cannot be fit exactly — but it must still
+	// run and produce finite output.
+	f := func(fs []float64, x float64) float64 {
+		v := 0.0
+		if fs[0] > 3 {
+			v += 10
+		}
+		if fs[1] > 2 {
+			v += 5
+		}
+		return v
+	}
+	train := synthSamples(300, 20, f, 0.1)
+	shallow, err := Train(train, names3, Config{Seed: 21, MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, _ := Train(train, names3, Config{Seed: 21})
+	test := synthSamples(100, 22, f, 0)
+	errOf := func(fo *Forest) float64 {
+		var preds, wants []float64
+		for _, s := range test {
+			preds = append(preds, fo.Predict(s.Features, s.X))
+			wants = append(wants, s.Y+1e-9)
+		}
+		return stats.MedianAbsRelError(preds, wants)
+	}
+	if errOf(deep) >= errOf(shallow) {
+		t.Fatalf("deep trees (err %v) should beat depth-1 trees (err %v)", errOf(deep), errOf(shallow))
+	}
+}
+
+func TestConstantTargetGivesConstantPrediction(t *testing.T) {
+	train := make([]Sample, 40)
+	r := dist.NewRNG(23)
+	for i := range train {
+		train[i] = Sample{Features: []float64{r.Float64(), r.Float64(), r.Float64()}, X: r.Float64() + 1, Y: 7}
+	}
+	f, err := Train(train, names3, Config{Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{0.5, 0.5, 0.5}, 1.7); math.Abs(got-7) > 1e-6 {
+		t.Fatalf("constant target predicted %v, want 7", got)
+	}
+}
+
+func TestGeneralisationBeatsNoise(t *testing.T) {
+	// A smoke test of regression quality on a smooth target: median
+	// error should be well under the signal scale.
+	f := func(fs []float64, x float64) float64 {
+		return 5 + fs[0]*0.5 + fs[1]*fs[1]*0.1 + 0.3*x
+	}
+	train := synthSamples(800, 25, f, 0.05)
+	forest, _ := Train(train, names3, Config{Seed: 26})
+	test := synthSamples(200, 27, f, 0)
+	var preds, wants []float64
+	for _, s := range test {
+		preds = append(preds, forest.Predict(s.Features, s.X))
+		wants = append(wants, s.Y)
+	}
+	if med := stats.MedianAbsRelError(preds, wants); med > 0.04 {
+		t.Fatalf("median error %v on smooth target", med)
+	}
+}

@@ -1,0 +1,91 @@
+package forest
+
+import (
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/stats"
+)
+
+// TestForestLeafModelAblation compares Figure 5's linear-regression leaves
+// against constant-mean leaves on data where the target is linear in x
+// within feature regions — the cross-workload structure mu_e ~= a*mu_m + b
+// that motivated the paper's leaf choice. Linear leaves must generalise
+// better.
+func TestForestLeafModelAblation(t *testing.T) {
+	// Two regimes selected by f0; within each, y is linear in x with a
+	// different slope; x spans a wide range (as mu_m does across
+	// workloads).
+	f := func(fs []float64, x float64) float64 {
+		if fs[0] < 5 {
+			return 1.4*x + 2
+		}
+		return 0.7*x + 1
+	}
+	gen := func(n int, seed uint64) []Sample {
+		r := dist.NewRNG(seed)
+		out := make([]Sample, n)
+		for i := range out {
+			fs := []float64{r.Float64() * 10, r.Float64() * 5, r.Float64()}
+			x := 5 + r.Float64()*45
+			out[i] = Sample{Features: fs, X: x, Y: f(fs, x) + 0.2*r.NormFloat64()}
+		}
+		return out
+	}
+	train := gen(300, 1)
+	test := gen(200, 2)
+	evalCfg := func(cfg Config) float64 {
+		fo, err := Train(train, names3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var preds, wants []float64
+		for _, s := range test {
+			preds = append(preds, fo.Predict(s.Features, s.X))
+			wants = append(wants, f(s.Features, s.X))
+		}
+		return stats.MedianAbsRelError(preds, wants)
+	}
+	linear := evalCfg(Config{Seed: 3})
+	mean := evalCfg(Config{Seed: 3, MeanLeaves: true})
+	if linear >= mean {
+		t.Fatalf("linear leaves (%.4f) should beat mean leaves (%.4f) on linear-in-x targets", linear, mean)
+	}
+	// Linear leaves should be dramatically better here, not marginal.
+	if mean/linear < 2 {
+		t.Fatalf("expected a clear gap: linear %.4f vs mean %.4f", linear, mean)
+	}
+}
+
+// TestMeanLeavesStillWork: the ablation configuration must remain a sound
+// regressor on targets without x-structure.
+func TestMeanLeavesStillWork(t *testing.T) {
+	f := func(fs []float64) float64 {
+		if fs[1] > 2.5 {
+			return 30
+		}
+		return 12
+	}
+	r := dist.NewRNG(7)
+	train := make([]Sample, 400)
+	for i := range train {
+		fs := []float64{r.Float64() * 10, r.Float64() * 5, r.Float64()}
+		train[i] = Sample{Features: fs, X: r.Float64(), Y: f(fs) + 0.1*r.NormFloat64()}
+	}
+	fo, err := Train(train, names3, Config{Seed: 8, MeanLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct {
+		fs   []float64
+		want float64
+	}{
+		{[]float64{5, 4, 0.5}, 30},
+		{[]float64{5, 1, 0.5}, 12},
+	} {
+		got := fo.Predict(probe.fs, 0.5)
+		if e := stats.AbsRelError(got, probe.want); e > 0.08 {
+			t.Fatalf("mean-leaf forest predicted %v for %v, want %v", got, probe.fs, probe.want)
+		}
+	}
+}

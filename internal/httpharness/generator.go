@@ -1,0 +1,103 @@
+package httpharness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mdsprint/internal/dist"
+)
+
+// GeneratorConfig drives a query generator replaying a workload against a
+// queue manager's URL (Figure 3's front end).
+type GeneratorConfig struct {
+	// URL is the manager's base URL (the /query endpoint is appended).
+	URL string
+	// Interarrival and Service are the workload's distributions, in
+	// wall-clock seconds (millisecond-scale values keep tests fast).
+	Interarrival dist.Dist
+	Service      dist.Dist
+	// NumQueries to send.
+	NumQueries int
+	// Seed drives sampling.
+	Seed uint64
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Run replays the workload: it sends queries at the sampled arrival times
+// (each on its own goroutine, like independent clients) and collects every
+// response. It returns responses in arrival order.
+func Run(cfg GeneratorConfig) ([]QueryResponse, error) {
+	if cfg.URL == "" || cfg.Interarrival == nil || cfg.Service == nil {
+		return nil, fmt.Errorf("httpharness: generator needs URL and distributions")
+	}
+	if cfg.NumQueries <= 0 {
+		return nil, fmt.Errorf("httpharness: NumQueries must be positive")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	rng := dist.NewRNG(cfg.Seed)
+	type planned struct {
+		at      time.Duration
+		service float64
+	}
+	plan := make([]planned, cfg.NumQueries)
+	at := time.Duration(0)
+	for i := range plan {
+		at += secondsToDuration(cfg.Interarrival.Sample(rng))
+		plan[i] = planned{at: at, service: cfg.Service.Sample(rng)}
+	}
+
+	responses := make([]QueryResponse, cfg.NumQueries)
+	errs := make([]error, cfg.NumQueries)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, p := range plan {
+		wg.Add(1)
+		go func(i int, p planned) {
+			defer wg.Done()
+			if d := time.Until(start.Add(p.at)); d > 0 {
+				time.Sleep(d)
+			}
+			body, _ := json.Marshal(QueryRequest{ServiceSeconds: p.service})
+			resp, err := client.Post(cfg.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("query %d: HTTP %d", i, resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&responses[i])
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return responses, nil
+}
+
+// FetchStats reads the manager's /stats endpoint.
+func FetchStats(url string, client *http.Client) (Stats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	var s Stats
+	return s, json.NewDecoder(resp.Body).Decode(&s)
+}

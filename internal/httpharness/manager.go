@@ -1,0 +1,352 @@
+// Package httpharness is the paper's Figure 3 as a running system: a
+// query generator that POSTs queries over HTTP to a queue manager, which
+// timestamps them, queues them FIFO, dispatches them to an execution
+// engine with limited slots, arms per-query sprint timeouts, and accounts
+// for a shared sprinting budget — all on real wall-clock time.
+//
+// The rest of this repository simulates this pipeline in virtual time for
+// speed (internal/testbed); this package exists to demonstrate that the
+// queue-manager semantics implemented there run unchanged as an actual
+// networked service ("communication between generator, manager, and
+// execution engine is through HTTP", Section 2.1). Queries carry virtual
+// work in milliseconds, so harness tests complete in seconds.
+package httpharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"mdsprint/internal/sprint"
+)
+
+// Config describes the queue manager.
+type Config struct {
+	// Policy is the sprinting policy; times are in seconds of wall
+	// clock (use milliseconds-scale values in tests).
+	Policy sprint.Policy
+	// Speedup is the processing-rate multiplier during sprints.
+	Speedup float64
+	// Slots is the execution-engine concurrency (default 1).
+	Slots int
+}
+
+// QueryRequest is the generator's POST body.
+type QueryRequest struct {
+	// ServiceSeconds is the query's processing demand at the sustained
+	// rate.
+	ServiceSeconds float64 `json:"service_seconds"`
+}
+
+// QueryResponse reports the manager's timestamps for one completed query,
+// in seconds since the manager started.
+type QueryResponse struct {
+	Arrival  float64 `json:"arrival"`
+	Start    float64 `json:"start"`
+	Depart   float64 `json:"depart"`
+	Sprinted bool    `json:"sprinted"`
+	TimedOut bool    `json:"timed_out"`
+}
+
+// ResponseTime returns Depart - Arrival.
+func (r QueryResponse) ResponseTime() float64 { return r.Depart - r.Arrival }
+
+// Stats is the manager's GET /stats payload.
+type Stats struct {
+	Completed     int     `json:"completed"`
+	Sprinted      int     `json:"sprinted"`
+	BudgetLevel   float64 `json:"budget_level"`
+	QueueLength   int     `json:"queue_length"`
+	RunningSlots  int     `json:"running_slots"`
+	SprintSeconds float64 `json:"sprint_seconds"`
+}
+
+// query is one in-flight query.
+type query struct {
+	arrival time.Time
+	service float64 // seconds of work at sustained speed
+
+	start    time.Time
+	running  bool
+	sprint   bool
+	pending  bool
+	timedOut bool
+	sprinted bool
+
+	tau         float64   // work fraction done at segment start
+	segStart    time.Time // current segment start
+	sprintStart time.Time
+
+	departTimer  *time.Timer
+	timeoutTimer *time.Timer
+
+	done chan QueryResponse
+}
+
+// Manager is the HTTP queue manager. Create with New, mount Handler on a
+// server, and stop with Close.
+type Manager struct {
+	cfg   Config
+	epoch time.Time
+
+	mu      sync.Mutex
+	acct    *sprint.Accountant
+	queue   []*query
+	running []*query
+	free    int
+
+	budgetTimer *time.Timer
+
+	completed     int
+	sprinted      int
+	sprintSeconds float64
+	closed        bool
+}
+
+// New returns a manager whose clock starts now.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Speedup < 1 {
+		return nil, fmt.Errorf("httpharness: speedup %v must be >= 1", cfg.Speedup)
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, fmt.Errorf("httpharness: %w", err)
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 1
+	}
+	return &Manager{
+		cfg:   cfg,
+		epoch: time.Now(),
+		acct:  sprint.ForPolicy(cfg.Policy),
+		free:  cfg.Slots,
+	}, nil
+}
+
+// now returns seconds since the manager's epoch.
+func (m *Manager) now() float64 { return time.Since(m.epoch).Seconds() }
+
+// Handler returns the manager's HTTP mux: POST /query and GET /stats.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", m.handleQuery)
+	mux.HandleFunc("/stats", m.handleStats)
+	return mux
+}
+
+func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ServiceSeconds <= 0 {
+		http.Error(w, "bad query body", http.StatusBadRequest)
+		return
+	}
+	q := &query{
+		arrival: time.Now(),
+		service: req.ServiceSeconds,
+		done:    make(chan QueryResponse, 1),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		http.Error(w, "manager closed", http.StatusServiceUnavailable)
+		return
+	}
+	m.queue = append(m.queue, q)
+	if p := m.cfg.Policy; !p.SprintingDisabled() {
+		q.timeoutTimer = time.AfterFunc(secondsToDuration(p.Timeout), func() { m.onTimeout(q) })
+	}
+	m.dispatchLocked()
+	m.mu.Unlock()
+
+	resp := <-q.done
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	s := Stats{
+		Completed:     m.completed,
+		Sprinted:      m.sprinted,
+		BudgetLevel:   m.acct.Level(m.now()),
+		QueueLength:   len(m.queue),
+		RunningSlots:  m.cfg.Slots - m.free,
+		SprintSeconds: m.sprintSeconds,
+	}
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s)
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// dispatchLocked moves queued queries into free slots. Callers hold m.mu.
+func (m *Manager) dispatchLocked() {
+	for m.free > 0 && len(m.queue) > 0 {
+		q := m.queue[0]
+		m.queue = m.queue[1:]
+		m.free--
+		q.running = true
+		q.start = time.Now()
+		q.segStart = q.start
+		q.tau = 0
+		m.running = append(m.running, q)
+		if q.pending && m.acct.CanSprint(m.now()) {
+			m.engageLocked(q)
+		} else {
+			q.departTimer = time.AfterFunc(secondsToDuration(q.service), func() { m.depart(q) })
+		}
+	}
+}
+
+// progressLocked rolls q's completed-work fraction forward to now.
+func (m *Manager) progressLocked(q *query) float64 {
+	elapsed := time.Since(q.segStart).Seconds()
+	rate := 1.0
+	if q.sprint {
+		rate = m.cfg.Speedup
+	}
+	return math.Min(q.tau+elapsed*rate/q.service, 1)
+}
+
+func (m *Manager) onTimeout(q *query) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	q.timedOut = true
+	if !q.running {
+		q.pending = true
+		return
+	}
+	if !q.sprint && m.acct.CanSprint(m.now()) {
+		q.tau = m.progressLocked(q)
+		q.segStart = time.Now()
+		m.engageLocked(q)
+	}
+}
+
+// engageLocked switches q to the sprint rate and replans its departure.
+// Callers hold m.mu and must have rolled tau/segStart forward.
+func (m *Manager) engageLocked(q *query) {
+	m.acct.StartSprint(m.now())
+	q.sprint = true
+	q.sprinted = true
+	q.sprintStart = time.Now()
+	remaining := (1 - q.tau) * q.service / m.cfg.Speedup
+	if q.departTimer != nil {
+		q.departTimer.Stop()
+	}
+	q.departTimer = time.AfterFunc(secondsToDuration(remaining), func() { m.depart(q) })
+	m.replanBudgetLocked()
+}
+
+// replanBudgetLocked (re)arms the budget-exhaustion timer.
+func (m *Manager) replanBudgetLocked() {
+	if m.budgetTimer != nil {
+		m.budgetTimer.Stop()
+		m.budgetTimer = nil
+	}
+	tte := m.acct.TimeToEmpty(m.now())
+	if math.IsInf(tte, 1) {
+		return
+	}
+	m.budgetTimer = time.AfterFunc(secondsToDuration(tte), m.onBudgetEmpty)
+}
+
+func (m *Manager) onBudgetEmpty() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	for _, q := range m.running {
+		if !q.sprint {
+			continue
+		}
+		q.tau = m.progressLocked(q)
+		q.segStart = time.Now()
+		m.stopSprintLocked(q)
+		remaining := (1 - q.tau) * q.service
+		if q.departTimer != nil {
+			q.departTimer.Stop()
+		}
+		q.departTimer = time.AfterFunc(secondsToDuration(remaining), func(qq *query) func() {
+			return func() { m.depart(qq) }
+		}(q))
+	}
+	m.replanBudgetLocked()
+}
+
+// stopSprintLocked ends q's sprint accounting.
+func (m *Manager) stopSprintLocked(q *query) {
+	m.acct.StopSprint(m.now())
+	m.sprintSeconds += time.Since(q.sprintStart).Seconds()
+	q.sprint = false
+}
+
+func (m *Manager) depart(q *query) {
+	m.mu.Lock()
+	if m.closed || !q.running {
+		m.mu.Unlock()
+		return
+	}
+	departAt := time.Now()
+	if q.sprint {
+		m.stopSprintLocked(q)
+		m.replanBudgetLocked()
+	}
+	if q.timeoutTimer != nil {
+		q.timeoutTimer.Stop()
+	}
+	for i, rq := range m.running {
+		if rq == q {
+			m.running = append(m.running[:i], m.running[i+1:]...)
+			break
+		}
+	}
+	q.running = false
+	m.completed++
+	if q.sprinted {
+		m.sprinted++
+	}
+	m.free++
+	m.dispatchLocked()
+	m.mu.Unlock()
+
+	q.done <- QueryResponse{
+		Arrival:  q.arrival.Sub(m.epoch).Seconds(),
+		Start:    q.start.Sub(m.epoch).Seconds(),
+		Depart:   departAt.Sub(m.epoch).Seconds(),
+		Sprinted: q.sprinted,
+		TimedOut: q.timedOut,
+	}
+}
+
+// Close stops all timers; in-flight handlers receive no response and the
+// manager rejects new queries.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	if m.budgetTimer != nil {
+		m.budgetTimer.Stop()
+	}
+	for _, q := range append(append([]*query{}, m.queue...), m.running...) {
+		if q.departTimer != nil {
+			q.departTimer.Stop()
+		}
+		if q.timeoutTimer != nil {
+			q.timeoutTimer.Stop()
+		}
+	}
+}

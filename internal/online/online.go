@@ -1,0 +1,175 @@
+// Package online addresses the paper's Section 5 open challenge:
+// estimating runtime conditions online and applying the performance model
+// to noisy estimates. It provides sliding-window and exponentially
+// weighted arrival-rate estimators and an adaptive policy controller that
+// re-selects the sprint timeout whenever the estimated conditions drift.
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/explore"
+	"mdsprint/internal/profiler"
+)
+
+// RateEstimator estimates an arrival rate from observed arrival
+// timestamps over a sliding window, optionally smoothed with an EWMA.
+// It is not safe for concurrent use.
+type RateEstimator struct {
+	window float64
+	alpha  float64 // EWMA weight per update; 0 disables smoothing
+
+	times []float64 // arrivals within the window, ascending
+	ewma  float64
+	init  bool
+}
+
+// NewRateEstimator returns an estimator over the given window (seconds).
+// alpha in [0, 1) blends each new windowed estimate into an EWMA; 0 uses
+// the raw windowed rate.
+func NewRateEstimator(window, alpha float64) *RateEstimator {
+	if window <= 0 || alpha < 0 || alpha >= 1 {
+		panic(fmt.Sprintf("online: NewRateEstimator(window=%v, alpha=%v) invalid", window, alpha))
+	}
+	return &RateEstimator{window: window, alpha: alpha}
+}
+
+// Observe records one arrival at time t (non-decreasing).
+func (e *RateEstimator) Observe(t float64) {
+	if n := len(e.times); n > 0 && t < e.times[n-1] {
+		panic("online: arrivals must be observed in time order")
+	}
+	e.times = append(e.times, t)
+	e.trim(t)
+	raw := e.windowedRate(t)
+	if !e.init {
+		// Seed the EWMA from the first estimate backed by at least
+		// one complete inter-arrival gap.
+		if len(e.times) >= 2 {
+			e.ewma = raw
+			e.init = true
+		}
+		return
+	}
+	if e.alpha > 0 {
+		e.ewma = e.alpha*e.ewma + (1-e.alpha)*raw
+	} else {
+		e.ewma = raw
+	}
+}
+
+// trim drops arrivals older than the window.
+func (e *RateEstimator) trim(now float64) {
+	cut := 0
+	for cut < len(e.times) && e.times[cut] < now-e.window {
+		cut++
+	}
+	if cut > 0 {
+		e.times = append(e.times[:0], e.times[cut:]...)
+	}
+}
+
+// windowedRate is the raw arrivals-per-second over the trailing window.
+// Early in the stream, before the window fills, the rate is estimated
+// from the inter-arrival span of the observations seen so far; a single
+// observation is not enough to estimate anything beyond a floor.
+func (e *RateEstimator) windowedRate(now float64) float64 {
+	n := len(e.times)
+	if n < 2 {
+		return float64(n) / e.window
+	}
+	span := now - e.times[0]
+	if span >= e.window {
+		return float64(n) / e.window
+	}
+	// n arrivals over a partial span: n-1 complete inter-arrival gaps.
+	return float64(n-1) / math.Max(span, e.window/1e6)
+}
+
+// Rate returns the current estimate at time now.
+func (e *RateEstimator) Rate(now float64) float64 {
+	e.trim(now)
+	if len(e.times) == 0 {
+		return 0
+	}
+	if e.alpha > 0 && e.init {
+		return e.ewma
+	}
+	return e.windowedRate(now)
+}
+
+// Observations returns how many arrivals are inside the window.
+func (e *RateEstimator) Observations() int { return len(e.times) }
+
+// Controller re-selects the sprint timeout with a performance model
+// whenever the estimated arrival rate drifts by more than
+// RetuneThreshold (relative).
+type Controller struct {
+	// Model predicts response time against Dataset.
+	Model   core.Model
+	Dataset *profiler.Dataset
+	// Base is the policy template; the controller tunes its timeout.
+	Base profiler.Condition
+	// MaxTimeout bounds the search (seconds).
+	MaxTimeout float64
+	// AnnealIter and Seed drive the annealing search.
+	AnnealIter int
+	Seed       uint64
+	// RetuneThreshold is the relative rate drift that triggers a new
+	// search (default 0.15).
+	RetuneThreshold float64
+
+	tunedRate    float64
+	currentTO    float64
+	haveDecision bool
+	retunes      int
+}
+
+// Timeout returns the controller's current timeout for the estimated
+// arrival rate, re-running the model-driven search if the estimate has
+// drifted beyond the threshold since the last decision.
+func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
+	if estimatedRate <= 0 {
+		return 0, fmt.Errorf("online: non-positive rate estimate %v", estimatedRate)
+	}
+	thr := c.RetuneThreshold
+	if thr == 0 {
+		thr = 0.15
+	}
+	if c.haveDecision && math.Abs(estimatedRate-c.tunedRate)/c.tunedRate <= thr {
+		return c.currentTO, nil
+	}
+	maxTO := c.MaxTimeout
+	if maxTO == 0 {
+		maxTO = 300
+	}
+	iter := c.AnnealIter
+	if iter == 0 {
+		iter = 60
+	}
+	res, err := explore.MinimizeTimeout(func(to float64) float64 {
+		cond := c.Base
+		cond.Timeout = to
+		pred, err := c.Model.Predict(c.Dataset, core.Scenario{
+			Cond:        cond,
+			ArrivalRate: estimatedRate,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return pred.MeanRT
+	}, 0, maxTO, explore.Options{MaxIter: iter, Seed: c.Seed + uint64(c.retunes)})
+	if err != nil {
+		return 0, err
+	}
+	c.tunedRate = estimatedRate
+	c.currentTO = res.Point[0]
+	c.haveDecision = true
+	c.retunes++
+	return c.currentTO, nil
+}
+
+// Retunes reports how many model-driven searches the controller has run.
+func (c *Controller) Retunes() int { return c.retunes }

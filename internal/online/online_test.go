@@ -1,0 +1,224 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/dist"
+	"mdsprint/internal/mech"
+	"mdsprint/internal/profiler"
+	"mdsprint/internal/workload"
+)
+
+func TestRateEstimatorConvergesOnPoisson(t *testing.T) {
+	r := dist.NewRNG(3)
+	const rate = 0.5
+	arr := dist.NewExponential(rate)
+	e := NewRateEstimator(600, 0)
+	now := 0.0
+	for i := 0; i < 5000; i++ {
+		now += arr.Sample(r)
+		e.Observe(now)
+	}
+	if got := e.Rate(now); math.Abs(got-rate)/rate > 0.10 {
+		t.Fatalf("estimated rate %v, want ~%v", got, rate)
+	}
+}
+
+func TestRateEstimatorTracksShift(t *testing.T) {
+	r := dist.NewRNG(7)
+	e := NewRateEstimator(300, 0)
+	now := 0.0
+	// Phase 1 at 0.2/s.
+	arr1 := dist.NewExponential(0.2)
+	for i := 0; i < 2000; i++ {
+		now += arr1.Sample(r)
+		e.Observe(now)
+	}
+	before := e.Rate(now)
+	// Phase 2 at 0.8/s: after two windows the estimate must follow.
+	arr2 := dist.NewExponential(0.8)
+	shiftStart := now
+	for now < shiftStart+600 {
+		now += arr2.Sample(r)
+		e.Observe(now)
+	}
+	after := e.Rate(now)
+	if math.Abs(before-0.2)/0.2 > 0.15 {
+		t.Fatalf("phase-1 estimate %v", before)
+	}
+	if math.Abs(after-0.8)/0.8 > 0.15 {
+		t.Fatalf("phase-2 estimate %v did not track the shift", after)
+	}
+}
+
+func TestRateEstimatorEWMASmoother(t *testing.T) {
+	// With EWMA the estimate reacts more slowly but with less variance.
+	r1, r2 := dist.NewRNG(9), dist.NewRNG(9)
+	raw := NewRateEstimator(120, 0)
+	smooth := NewRateEstimator(120, 0.95)
+	arr := dist.NewExponential(0.3)
+	now1, now2 := 0.0, 0.0
+	var rawVals, smoothVals []float64
+	for i := 0; i < 4000; i++ {
+		now1 += arr.Sample(r1)
+		raw.Observe(now1)
+		now2 += arr.Sample(r2)
+		smooth.Observe(now2)
+		if i > 1000 {
+			rawVals = append(rawVals, raw.Rate(now1))
+			smoothVals = append(smoothVals, smooth.Rate(now2))
+		}
+	}
+	if variance(smoothVals) >= variance(rawVals) {
+		t.Fatalf("EWMA variance %v >= raw variance %v", variance(smoothVals), variance(rawVals))
+	}
+}
+
+func variance(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v / float64(len(xs))
+}
+
+func TestRateEstimatorEarlyStreamSane(t *testing.T) {
+	// Regression: the first observations must not produce absurd rates
+	// (a single arrival once divided by a ~zero span).
+	e := NewRateEstimator(3600, 0.9)
+	e.Observe(100)
+	if got := e.Rate(100); got > 1 {
+		t.Fatalf("single-arrival rate %v, want a small floor", got)
+	}
+	// A handful of arrivals 50 s apart: estimate near 0.02/s quickly.
+	for _, ts := range []float64{150, 200, 250, 300, 350} {
+		e.Observe(ts)
+	}
+	if got := e.Rate(350); got < 0.005 || got > 0.08 {
+		t.Fatalf("early-stream rate %v, want ~0.02", got)
+	}
+}
+
+func TestRateEstimatorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRateEstimator(0, 0) },
+		func() { NewRateEstimator(10, 1) },
+		func() {
+			e := NewRateEstimator(10, 0)
+			e.Observe(5)
+			e.Observe(4)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	if got := NewRateEstimator(10, 0).Rate(100); got != 0 {
+		t.Fatalf("empty estimator rate %v, want 0", got)
+	}
+}
+
+// onlineDataset profiles a small throttled-Jacobi dataset for controller
+// tests.
+func onlineDataset(t *testing.T) *profiler.Dataset {
+	t.Helper()
+	p := &profiler.Profiler{
+		Mix:           workload.SingleClass(workload.MustByName("Jacobi")),
+		Mechanism:     mech.NewThrottle(0.20),
+		QueriesPerRun: 600,
+		Seed:          11,
+	}
+	mu, samples, _ := p.MeasureServiceRate()
+	mum, _ := p.MeasureMarginalRate()
+	return &profiler.Dataset{
+		MixName: "Jacobi", MechName: "Throttle20%",
+		ServiceRate: mu, MarginalRate: mum, ServiceSamples: samples,
+	}
+}
+
+func TestControllerRetunesOnDrift(t *testing.T) {
+	ds := onlineDataset(t)
+	c := &Controller{
+		Model:   &core.NoML{SimQueries: 1200, SimReps: 1, Seed: 13},
+		Dataset: ds,
+		Base: profiler.Condition{
+			ArrivalKind: dist.KindExponential,
+			RefillTime:  600, BudgetPct: 0.15,
+		},
+		AnnealIter: 20,
+		Seed:       17,
+	}
+	lo := 0.4 * ds.ServiceRate
+	to1, err := c.Timeout(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Retunes() != 1 {
+		t.Fatalf("retunes %d after first decision", c.Retunes())
+	}
+	// Within the drift threshold: reuse the decision, no new search.
+	to2, err := c.Timeout(lo * 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to2 != to1 || c.Retunes() != 1 {
+		t.Fatalf("controller re-searched inside the threshold (retunes %d)", c.Retunes())
+	}
+	// A genuine shift retunes.
+	if _, err := c.Timeout(0.9 * ds.ServiceRate); err != nil {
+		t.Fatal(err)
+	}
+	if c.Retunes() != 2 {
+		t.Fatalf("retunes %d after drift, want 2", c.Retunes())
+	}
+}
+
+func TestControllerNoisyEstimatesStayNearOracle(t *testing.T) {
+	// The Section 5 question: does the model still pick good policies
+	// from noisy condition estimates? Compare expected RT at the
+	// timeout chosen from a +-10% noisy rate against the oracle rate.
+	ds := onlineDataset(t)
+	model := &core.NoML{SimQueries: 1500, SimReps: 1, Seed: 19}
+	base := profiler.Condition{
+		ArrivalKind: dist.KindExponential,
+		RefillTime:  600, BudgetPct: 0.15,
+	}
+	trueRate := 0.8 * ds.ServiceRate
+	rtAt := func(timeout float64) float64 {
+		cond := base
+		cond.Timeout = timeout
+		pred, err := model.Predict(ds, core.Scenario{Cond: cond, ArrivalRate: trueRate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred.MeanRT
+	}
+	pick := func(rate float64, seed uint64) float64 {
+		c := &Controller{
+			Model: model, Dataset: ds, Base: base,
+			AnnealIter: 25, Seed: seed,
+		}
+		to, err := c.Timeout(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return to
+	}
+	oracleRT := rtAt(pick(trueRate, 23))
+	noisyRT := rtAt(pick(trueRate*1.1, 29))
+	if noisyRT > oracleRT*1.15 {
+		t.Fatalf("noisy-estimate policy RT %v vs oracle %v", noisyRT, oracleRT)
+	}
+}

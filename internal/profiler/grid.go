@@ -1,0 +1,125 @@
+package profiler
+
+import (
+	"mdsprint/internal/dist"
+)
+
+// Grid is a cluster-sampling grid over workload conditions and sprinting
+// policies. Its cross product yields the profiled Conditions.
+type Grid struct {
+	Utilizations []float64
+	ArrivalKinds []dist.Kind
+	Timeouts     []float64
+	RefillTimes  []float64
+	BudgetPcts   []float64
+}
+
+// PaperGrid returns the cluster-sampling centroids listed in Section 3:
+// arrival rates 30/50/75/95% of service rate, exponential and Pareto
+// arrivals, timeouts 50-160 s, refill times 50-1000 s, and budgets
+// 14-80% of sustained capacity per refill window.
+func PaperGrid() Grid {
+	return Grid{
+		Utilizations: []float64{0.30, 0.50, 0.75, 0.95},
+		ArrivalKinds: []dist.Kind{dist.KindExponential, dist.KindPareto},
+		Timeouts:     []float64{50, 60, 70, 80, 120, 130, 160},
+		RefillTimes:  []float64{50, 200, 500, 800, 1000},
+		BudgetPcts:   []float64{0.14, 0.16, 0.18, 0.20, 0.40, 0.60, 0.80},
+	}
+}
+
+// DenseGrid extends PaperGrid with the extra centroids Section 3.3 adds to
+// fix core-scaling bias: 60% and 85% arrival rates.
+func DenseGrid() Grid {
+	g := PaperGrid()
+	g.Utilizations = []float64{0.30, 0.50, 0.60, 0.75, 0.85, 0.95}
+	return g
+}
+
+// SmallGrid is a reduced grid for tests and quick runs.
+func SmallGrid() Grid {
+	return Grid{
+		Utilizations: []float64{0.30, 0.75},
+		ArrivalKinds: []dist.Kind{dist.KindExponential},
+		Timeouts:     []float64{50, 120},
+		RefillTimes:  []float64{200, 800},
+		BudgetPcts:   []float64{0.20, 0.60},
+	}
+}
+
+// Conditions expands the grid's cross product in deterministic order.
+func (g Grid) Conditions() []Condition {
+	out := make([]Condition, 0,
+		len(g.Utilizations)*len(g.ArrivalKinds)*len(g.Timeouts)*len(g.RefillTimes)*len(g.BudgetPcts))
+	for _, u := range g.Utilizations {
+		for _, k := range g.ArrivalKinds {
+			for _, to := range g.Timeouts {
+				for _, rt := range g.RefillTimes {
+					for _, b := range g.BudgetPcts {
+						out = append(out, Condition{
+							Utilization: u,
+							ArrivalKind: k,
+							Timeout:     to,
+							RefillTime:  rt,
+							BudgetPct:   b,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sample draws n conditions from the grid's cross product without
+// replacement (all of them if n exceeds the total), deterministically for
+// a given seed. Profiling every centroid is expensive; the paper samples
+// 5 arrival rates, 8 timeouts and 9 budgets per workload.
+func (g Grid) Sample(n int, seed uint64) []Condition {
+	all := g.Conditions()
+	if n >= len(all) {
+		return all
+	}
+	r := dist.NewRNG(seed)
+	perm := r.Perm(len(all))
+	out := make([]Condition, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[perm[i]]
+	}
+	return out
+}
+
+// Split partitions conditions into train and test sets with the given
+// train fraction (the paper uses 80/20 and 90/10), deterministically.
+func Split(conds []Condition, trainFrac float64, seed uint64) (train, test []Condition) {
+	r := dist.NewRNG(seed)
+	perm := r.Perm(len(conds))
+	nTrain := int(float64(len(conds)) * trainFrac)
+	train = make([]Condition, 0, nTrain)
+	test = make([]Condition, 0, len(conds)-nTrain)
+	for i, idx := range perm {
+		if i < nTrain {
+			train = append(train, conds[idx])
+		} else {
+			test = append(test, conds[idx])
+		}
+	}
+	return train, test
+}
+
+// SplitObservations partitions a dataset's observations the same way.
+func SplitObservations(obs []Observation, trainFrac float64, seed uint64) (train, test []Observation) {
+	r := dist.NewRNG(seed)
+	perm := r.Perm(len(obs))
+	nTrain := int(float64(len(obs)) * trainFrac)
+	train = make([]Observation, 0, nTrain)
+	test = make([]Observation, 0, len(obs)-nTrain)
+	for i, idx := range perm {
+		if i < nTrain {
+			train = append(train, obs[idx])
+		} else {
+			test = append(test, obs[idx])
+		}
+	}
+	return train, test
+}

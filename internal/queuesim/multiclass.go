@@ -1,0 +1,315 @@
+package queuesim
+
+import (
+	"fmt"
+	"math"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/sim"
+	"mdsprint/internal/sprint"
+	"mdsprint/internal/stats"
+)
+
+// ClassParams describes one query class in a multi-class simulation: its
+// share of arrivals, its service process, and its own sprinting clause.
+// Section 5 notes that supporting multiple sprint rates and timeouts
+// needs only small modifications to the simulator; this file is that
+// modification.
+type ClassParams struct {
+	// Name labels the class in results.
+	Name string
+	// Weight is the probability an arrival belongs to this class;
+	// weights must sum to 1.
+	Weight float64
+	// Service and ServiceRate are the class's sustained service model.
+	Service     dist.Dist
+	ServiceRate float64
+	// SprintRate is the class's effective (or marginal) sprint rate; 0
+	// disables sprinting for the class.
+	SprintRate float64
+	// Timeout is the class's sprint trigger; negative disables.
+	Timeout float64
+}
+
+// MultiParams configures a multi-class G/G/k simulation with a shared
+// sprinting budget.
+type MultiParams struct {
+	ArrivalRate float64
+	ArrivalKind dist.Kind
+	Arrival     dist.Dist // optional override, as in Params
+	Classes     []ClassParams
+	// BudgetSeconds and RefillTime define the shared budget.
+	BudgetSeconds float64
+	RefillTime    float64
+	Slots         int
+	NumQueries    int
+	Warmup        int
+	Seed          uint64
+}
+
+func (p MultiParams) validate() error {
+	if p.ArrivalRate <= 0 {
+		return fmt.Errorf("queuesim: arrival rate %v must be positive", p.ArrivalRate)
+	}
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("queuesim: at least one class required")
+	}
+	sum := 0.0
+	for i, c := range p.Classes {
+		if c.Service == nil || c.ServiceRate <= 0 {
+			return fmt.Errorf("queuesim: class %d needs a service model", i)
+		}
+		if c.Weight <= 0 {
+			return fmt.Errorf("queuesim: class %d weight %v must be positive", i, c.Weight)
+		}
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("queuesim: class weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// MultiResult extends Result with per-class response times.
+type MultiResult struct {
+	Result
+	// ByClass maps class name to its measured response times.
+	ByClass map[string][]float64
+}
+
+// MeanRTOf returns one class's mean response time.
+func (r *MultiResult) MeanRTOf(name string) float64 { return stats.Mean(r.ByClass[name]) }
+
+// mcQuery extends query with its class index.
+type mcQuery struct {
+	query
+	class int
+}
+
+// RunMulti simulates the multi-class system. Classes share the FIFO queue,
+// the execution slots and the sprinting budget, but each class sprints at
+// its own rate after its own timeout.
+func RunMulti(p MultiParams) (*MultiResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.Slots == 0 {
+		p.Slots = 1
+	}
+	if p.NumQueries == 0 {
+		p.NumQueries = 1000
+	}
+	if p.ArrivalKind == "" {
+		p.ArrivalKind = dist.KindExponential
+	}
+	arr := p.Arrival
+	if arr == nil {
+		arr = dist.ForRate(p.ArrivalKind, p.ArrivalRate)
+	}
+	refill := 0.0
+	if p.RefillTime > 0 {
+		refill = p.BudgetSeconds / p.RefillTime
+	}
+
+	s := &mcState{
+		p:    p,
+		eng:  sim.New(),
+		rng:  dist.NewRNG(p.Seed),
+		arr:  arr,
+		acct: sprint.NewAccountant(p.BudgetSeconds, refill),
+		free: p.Slots,
+		res:  MultiResult{ByClass: map[string][]float64{}},
+	}
+	// Per-class speedups, floored like Params.speedup.
+	s.speedups = make([]float64, len(p.Classes))
+	for i, c := range p.Classes {
+		sp := 1.0
+		if c.SprintRate > 0 {
+			sp = c.SprintRate / c.ServiceRate
+			if sp < 0.1 {
+				sp = 0.1
+			}
+		}
+		s.speedups[i] = sp
+	}
+	total := p.NumQueries + p.Warmup
+	if total > 0 {
+		s.eng.Schedule(arr.Sample(s.rng), s.arrive)
+	}
+	s.eng.RunAll()
+	return &s.res, nil
+}
+
+type mcState struct {
+	p        MultiParams
+	eng      *sim.Engine
+	rng      *dist.RNG
+	arr      dist.Dist
+	acct     *sprint.Accountant
+	speedups []float64
+
+	queue    []*mcQuery
+	running  []*mcQuery
+	free     int
+	budgetEv *sim.Event
+
+	arrived int
+	res     MultiResult
+}
+
+// pickClass draws a class index by weight.
+func (s *mcState) pickClass() int {
+	u := s.rng.Float64()
+	acc := 0.0
+	for i, c := range s.p.Classes {
+		acc += c.Weight
+		if u < acc {
+			return i
+		}
+	}
+	return len(s.p.Classes) - 1
+}
+
+// classSprints reports whether class ci's sprint clause is active.
+func (s *mcState) classSprints(ci int) bool {
+	return s.p.Classes[ci].Timeout >= 0 && s.p.BudgetSeconds > 0 && s.speedups[ci] != 1
+}
+
+func (s *mcState) arrive() {
+	now := s.eng.Now()
+	id := s.arrived
+	s.arrived++
+	ci := s.pickClass()
+	q := &mcQuery{class: ci}
+	q.arrival = now
+	q.service = s.p.Classes[ci].Service.Sample(s.rng)
+	q.warm = id < s.p.Warmup
+	s.queue = append(s.queue, q)
+	if s.classSprints(ci) {
+		q.timeoutEv = s.eng.Schedule(now+s.p.Classes[ci].Timeout, func() { s.onTimeout(q) })
+	}
+	if s.arrived < s.p.NumQueries+s.p.Warmup {
+		s.eng.After(s.arr.Sample(s.rng), s.arrive)
+	}
+	s.dispatch()
+}
+
+func (s *mcState) dispatch() {
+	now := s.eng.Now()
+	for s.free > 0 && len(s.queue) > 0 {
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		s.free--
+		q.running = true
+		q.start = now
+		q.seg = now
+		q.tau = 0
+		s.running = append(s.running, q)
+		if q.pending && s.acct.CanSprint(now) {
+			s.engage(q)
+		} else {
+			q.departEv = s.eng.Schedule(now+q.service, func() { s.depart(q) })
+		}
+	}
+}
+
+func (s *mcState) progress(q *mcQuery, now float64) float64 {
+	rate := 1.0
+	if q.sprint {
+		rate = s.speedups[q.class]
+	}
+	tau := q.tau + (now-q.seg)*rate/q.service
+	return math.Min(tau, 1)
+}
+
+func (s *mcState) onTimeout(q *mcQuery) {
+	now := s.eng.Now()
+	if !q.running {
+		q.pending = true
+		return
+	}
+	if !q.sprint && s.acct.CanSprint(now) {
+		q.tau = s.progress(q, now)
+		q.seg = now
+		s.engage(q)
+	}
+}
+
+func (s *mcState) engage(q *mcQuery) {
+	now := s.eng.Now()
+	s.acct.StartSprint(now)
+	q.sprint = true
+	q.sprinted = true
+	q.sprintStart = now
+	remaining := (1 - q.tau) * q.service / s.speedups[q.class]
+	if q.departEv != nil {
+		s.eng.Cancel(q.departEv)
+	}
+	q.departEv = s.eng.Schedule(now+remaining, func() { s.depart(q) })
+	s.replanBudget()
+}
+
+func (s *mcState) replanBudget() {
+	now := s.eng.Now()
+	if s.budgetEv != nil {
+		s.eng.Cancel(s.budgetEv)
+		s.budgetEv = nil
+	}
+	tte := s.acct.TimeToEmpty(now)
+	if math.IsInf(tte, 1) {
+		return
+	}
+	s.budgetEv = s.eng.Schedule(now+tte, s.onBudgetEmpty)
+}
+
+func (s *mcState) onBudgetEmpty() {
+	now := s.eng.Now()
+	s.budgetEv = nil
+	for _, q := range s.running {
+		if !q.sprint {
+			continue
+		}
+		q.tau = s.progress(q, now)
+		q.seg = now
+		s.acct.StopSprint(now)
+		q.sprint = false
+		s.res.SprintSeconds += now - q.sprintStart
+		remaining := (1 - q.tau) * q.service
+		q.departEv = s.eng.Reschedule(q.departEv, now+remaining)
+	}
+	s.replanBudget()
+}
+
+func (s *mcState) depart(q *mcQuery) {
+	now := s.eng.Now()
+	s.res.Duration = now
+	if q.sprint {
+		s.acct.StopSprint(now)
+		q.sprint = false
+		s.res.SprintSeconds += now - q.sprintStart
+		s.replanBudget()
+	}
+	if q.timeoutEv != nil {
+		s.eng.Cancel(q.timeoutEv)
+		q.timeoutEv = nil
+	}
+	for i, rq := range s.running {
+		if rq == q {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	q.running = false
+	if !q.warm {
+		rt := now - q.arrival
+		s.res.RTs = append(s.res.RTs, rt)
+		s.res.QueueingTimes = append(s.res.QueueingTimes, q.start-q.arrival)
+		name := s.p.Classes[q.class].Name
+		s.res.ByClass[name] = append(s.res.ByClass[name], rt)
+		if q.sprinted {
+			s.res.SprintedCount++
+		}
+	}
+	s.free++
+	s.dispatch()
+}

@@ -1,0 +1,160 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/stats"
+)
+
+// twoClassParams builds a bimodal system: frequent short queries and rare
+// long ones, each with its own sprint clause.
+func twoClassParams() MultiParams {
+	return MultiParams{
+		ArrivalRate: 0.01,
+		Classes: []ClassParams{
+			{
+				Name: "short", Weight: 0.8,
+				Service:     dist.LogNormalFromMeanCV(20, 0.3),
+				ServiceRate: 1.0 / 20,
+				SprintRate:  2.0 / 20,
+				Timeout:     30,
+			},
+			{
+				Name: "long", Weight: 0.2,
+				Service:     dist.LogNormalFromMeanCV(200, 0.3),
+				ServiceRate: 1.0 / 200,
+				SprintRate:  3.0 / 200,
+				Timeout:     100,
+			},
+		},
+		BudgetSeconds: 500,
+		RefillTime:    300,
+		NumQueries:    8000,
+		Warmup:        800,
+		Seed:          5,
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	bad := []MultiParams{
+		{},
+		{ArrivalRate: 1},
+		{ArrivalRate: 1, Classes: []ClassParams{{Weight: 1}}},
+		{ArrivalRate: 1, Classes: []ClassParams{
+			{Weight: 0.5, Service: dist.Deterministic{Value: 1}, ServiceRate: 1},
+		}},
+	}
+	for i, p := range bad {
+		if _, err := RunMulti(p); err == nil {
+			t.Errorf("params %d accepted", i)
+		}
+	}
+}
+
+func TestMultiClassSharesAndRecords(t *testing.T) {
+	res, err := RunMulti(twoClassParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nShort, nLong := len(res.ByClass["short"]), len(res.ByClass["long"])
+	if nShort+nLong != len(res.RTs) {
+		t.Fatalf("per-class RTs (%d+%d) != total %d", nShort, nLong, len(res.RTs))
+	}
+	frac := float64(nShort) / float64(len(res.RTs))
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Fatalf("short-class fraction %v, want ~0.8", frac)
+	}
+	if res.MeanRTOf("long") <= res.MeanRTOf("short") {
+		t.Fatal("long class should have larger response times")
+	}
+}
+
+func TestMultiClassPerClassSprintRates(t *testing.T) {
+	// With an effectively unlimited budget and timeout 0 for both
+	// classes, each class's processing time reflects its own speedup.
+	p := twoClassParams()
+	p.BudgetSeconds = 1e12
+	p.RefillTime = 1
+	p.ArrivalRate = 0.001 // light load: RT ~= processing time
+	for i := range p.Classes {
+		p.Classes[i].Timeout = 0
+	}
+	res, err := RunMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// short: speedup 2 on mean 20 -> ~10; long: speedup 3 on 200 -> ~67.
+	if got := res.MeanRTOf("short"); math.Abs(got-10)/10 > 0.1 {
+		t.Fatalf("short sprinted RT %v, want ~10", got)
+	}
+	if got := res.MeanRTOf("long"); math.Abs(got-200.0/3)/(200.0/3) > 0.1 {
+		t.Fatalf("long sprinted RT %v, want ~%v", got, 200.0/3)
+	}
+}
+
+func TestMultiClassSelectiveSprinting(t *testing.T) {
+	// Disabling the short class's sprints must leave its RT at the
+	// sustained scale while the long class still accelerates.
+	p := twoClassParams()
+	p.BudgetSeconds = 1e12
+	p.RefillTime = 1
+	p.ArrivalRate = 0.001
+	p.Classes[0].Timeout = -1 // short never sprints
+	p.Classes[1].Timeout = 0
+	res, err := RunMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanRTOf("short"); math.Abs(got-20)/20 > 0.1 {
+		t.Fatalf("short unsprinted RT %v, want ~20", got)
+	}
+	if got := res.MeanRTOf("long"); got > 80 {
+		t.Fatalf("long sprinted RT %v, want well below 200", got)
+	}
+}
+
+func TestMultiClassSharedBudget(t *testing.T) {
+	// A tight shared budget: sprint-seconds consumed must respect the
+	// shared supply even with two classes competing.
+	p := twoClassParams()
+	p.BudgetSeconds = 100
+	p.RefillTime = 1e12
+	res, err := RunMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SprintSeconds > p.BudgetSeconds*1.05 {
+		t.Fatalf("consumed %v sprint-seconds of a %v budget", res.SprintSeconds, p.BudgetSeconds)
+	}
+}
+
+func TestMultiClassDegeneratesToSingle(t *testing.T) {
+	// One class with weight 1 must match the single-class simulator on
+	// summary statistics (same seeds give different streams because the
+	// multi-class path draws a class index, so compare distributions).
+	mu := 0.02
+	svc := dist.LogNormalFromMeanCV(1/mu, 0.3)
+	single := MustRun(Params{
+		ArrivalRate: 0.75 * mu, Service: svc, ServiceRate: mu,
+		SprintRate: 1.5 * mu, Timeout: 60, BudgetSeconds: 300, RefillTime: 200,
+		NumQueries: 30000, Warmup: 3000, Seed: 9,
+	})
+	multi, err := RunMulti(MultiParams{
+		ArrivalRate: 0.75 * mu,
+		Classes: []ClassParams{{
+			Name: "only", Weight: 1, Service: svc, ServiceRate: mu,
+			SprintRate: 1.5 * mu, Timeout: 60,
+		}},
+		BudgetSeconds: 300, RefillTime: 200,
+		NumQueries: 30000, Warmup: 3000, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stats.Mean(single.RTs), stats.Mean(multi.RTs)
+	if math.Abs(a-b)/a > 0.05 {
+		t.Fatalf("single %v vs multi %v mean RT", a, b)
+	}
+}

@@ -1,0 +1,198 @@
+package queuesim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/sprint"
+)
+
+// TestRandomParamsInvariants fuzzes policy and workload settings and
+// checks structural invariants of every run: finite, non-negative
+// response times bounded below by the fastest possible processing; FIFO
+// dispatch; budget conservation.
+func TestRandomParamsInvariants(t *testing.T) {
+	f := func(seed uint64, utilRaw, toRaw, budRaw, refRaw, spRaw uint8) bool {
+		mu := 0.02
+		util := 0.1 + 0.85*float64(utilRaw)/255
+		speedup := 1 + 4*float64(spRaw)/255
+		p := Params{
+			ArrivalRate:   util * mu,
+			Service:       dist.LogNormalFromMeanCV(1/mu, 0.4),
+			ServiceRate:   mu,
+			SprintRate:    speedup * mu,
+			Timeout:       float64(toRaw) * 2,
+			BudgetSeconds: float64(budRaw) * 5,
+			RefillTime:    10 + float64(refRaw)*10,
+			NumQueries:    400,
+			Warmup:        40,
+			Seed:          seed,
+		}
+		res := MustRun(p)
+		if len(res.RTs) != p.NumQueries {
+			return false
+		}
+		for i, rt := range res.RTs {
+			if math.IsNaN(rt) || rt <= 0 {
+				return false
+			}
+			// Queueing times are non-negative and below RT.
+			if res.QueueingTimes[i] < 0 || res.QueueingTimes[i] > rt {
+				return false
+			}
+		}
+		// Budget conservation: consumption within supply (+5% slack
+		// for the engage-threshold boundary).
+		if res.SprintSeconds > res.BudgetSupply(p)*1.05+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRTsMonotoneInSprintRate: for a fixed seed, raising the sprint rate
+// must never increase mean response time (common random numbers make the
+// comparison exact).
+func TestRTsMonotoneInSprintRate(t *testing.T) {
+	mu := 0.02
+	base := Params{
+		ArrivalRate: 0.8 * mu,
+		Service:     dist.LogNormalFromMeanCV(1/mu, 0.3),
+		ServiceRate: mu,
+		Timeout:     40, BudgetSeconds: 400, RefillTime: 300,
+		NumQueries: 4000, Warmup: 400, Seed: 13,
+	}
+	prev := math.Inf(1)
+	for _, s := range []float64{1.0, 1.3, 1.7, 2.2, 3.0} {
+		p := base
+		p.SprintRate = s * mu
+		rt := MustRun(p).MeanRT()
+		if rt > prev*1.002 {
+			t.Fatalf("RT rose from %v to %v when speedup increased to %v", prev, rt, s)
+		}
+		prev = rt
+	}
+}
+
+// TestMoreBudgetNeverHurts: with a fixed seed, enlarging the budget must
+// not increase mean RT.
+func TestMoreBudgetNeverHurts(t *testing.T) {
+	mu := 0.02
+	base := Params{
+		ArrivalRate: 0.85 * mu,
+		Service:     dist.LogNormalFromMeanCV(1/mu, 0.3),
+		ServiceRate: mu,
+		SprintRate:  2 * mu,
+		Timeout:     30, RefillTime: 400,
+		NumQueries: 4000, Warmup: 400, Seed: 17,
+	}
+	prev := math.Inf(1)
+	for _, b := range []float64{0, 50, 150, 400, 1000} {
+		p := base
+		p.BudgetSeconds = b
+		rt := MustRun(p).MeanRT()
+		if rt > prev*1.01 {
+			t.Fatalf("RT rose from %v to %v when budget grew to %v", prev, rt, b)
+		}
+		prev = rt
+	}
+}
+
+// TestDeterministicArrivalOrderPreserved: under deterministic arrivals
+// and service, response times are reproducible exactly.
+func TestDeterministicReproducibility(t *testing.T) {
+	p := Params{
+		ArrivalRate: 0.015, ArrivalKind: dist.KindDeterministic,
+		Service:     dist.Deterministic{Value: 50},
+		ServiceRate: 0.02,
+		SprintRate:  0.03, Timeout: 20, BudgetSeconds: 200, RefillTime: 300,
+		NumQueries: 500, Seed: 23,
+	}
+	a := MustRun(p)
+	b := MustRun(p)
+	for i := range a.RTs {
+		if a.RTs[i] != b.RTs[i] {
+			t.Fatal("identical params produced different RTs")
+		}
+	}
+}
+
+// TestWindowRefillEndToEnd exercises the paper's refill clause through
+// the simulator: with aggressive sprinting, a window-refill budget
+// supplies less than a continuous one, so RT is at least as large.
+func TestWindowRefillEndToEnd(t *testing.T) {
+	mu := 0.02
+	base := Params{
+		ArrivalRate: 0.85 * mu,
+		Service:     dist.LogNormalFromMeanCV(1/mu, 0.3),
+		ServiceRate: mu,
+		SprintRate:  2 * mu,
+		Timeout:     0, BudgetSeconds: 60, RefillTime: 400,
+		NumQueries: 6000, Warmup: 600, Seed: 29,
+	}
+	cont := MustRun(base)
+	pw := base
+	pw.Refill = sprint.RefillWindow
+	win := MustRun(pw)
+	if win.SprintSeconds >= cont.SprintSeconds {
+		t.Fatalf("window refill supplied %v sprint-seconds vs continuous %v",
+			win.SprintSeconds, cont.SprintSeconds)
+	}
+	if win.MeanRT() < cont.MeanRT()*0.99 {
+		t.Fatalf("window refill RT %v below continuous %v", win.MeanRT(), cont.MeanRT())
+	}
+}
+
+// TestPredictSeedsIndependent: replications use distinct seeds, so the
+// pooled sample is genuinely larger (not the same run repeated).
+func TestPredictSeedsIndependent(t *testing.T) {
+	mu := 0.02
+	p := Params{
+		ArrivalRate: 0.6 * mu,
+		Service:     dist.LogNormalFromMeanCV(1/mu, 0.3),
+		ServiceRate: mu,
+		Timeout:     -1,
+		NumQueries:  500, Warmup: 50, Seed: 31,
+	}
+	r1 := MustRun(p)
+	p2 := p
+	p2.Seed = p.Seed + 0x9e3779b97f4a7c15 // Predict's second replication
+	r2 := MustRun(p2)
+	same := 0
+	for i := range r1.RTs {
+		if r1.RTs[i] == r2.RTs[i] {
+			same++
+		}
+	}
+	if same > len(r1.RTs)/10 {
+		t.Fatalf("replications look identical (%d/%d equal RTs)", same, len(r1.RTs))
+	}
+}
+
+// TestSortedCDFStable ensures Result.RTs ordering is by departure-
+// completion order (arrival order for FIFO single slot with uniform
+// service this equals arrival order).
+func TestRTsCompleteCount(t *testing.T) {
+	p := Params{
+		ArrivalRate: 0.01,
+		Service:     dist.Deterministic{Value: 10},
+		ServiceRate: 0.1,
+		Timeout:     -1,
+		NumQueries:  100, Seed: 37,
+	}
+	res := MustRun(p)
+	if len(res.RTs) != 100 {
+		t.Fatalf("got %d RTs", len(res.RTs))
+	}
+	sorted := append([]float64(nil), res.RTs...)
+	sort.Float64s(sorted)
+	if sorted[0] < 10 {
+		t.Fatalf("fastest RT %v below service time", sorted[0])
+	}
+}

@@ -1,0 +1,449 @@
+// Package queuesim implements the paper's timeout-aware queue simulator
+// (Section 2.2, Algorithm 1): a G/G/k discrete-event simulation that
+// understands sprint timeouts, budgets and refill, and models a sprint as
+// a linear speedup on the query's remaining execution time (Equation 1):
+//
+//	depart = clock + (1 - tau) * s * mu / mu_e
+//
+// where s is the query's sampled service time, tau its completed-work
+// fraction, mu the service rate and mu_e the (effective or marginal)
+// sprint rate.
+//
+// This simulator is the first-principles half of the hybrid model. It
+// deliberately knows nothing about phase behaviour, toggle overheads or
+// load coupling — those runtime factors are what the effective sprint
+// rate (internal/calib) and the random decision forest absorb.
+//
+// The paper's reference implementation steps a fine-resolution clock;
+// this one schedules events, which is semantically equivalent (see
+// tick_test.go for the cross-validation) and fast enough to answer the
+// thousands of what-if queries policy exploration needs (Section 3.6).
+package queuesim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/sim"
+	"mdsprint/internal/sprint"
+	"mdsprint/internal/stats"
+)
+
+// Params configures one simulation.
+type Params struct {
+	// ArrivalRate in queries/second; ArrivalKind selects the family.
+	ArrivalRate float64
+	ArrivalKind dist.Kind
+	// Arrival, when non-nil, overrides (ArrivalRate, ArrivalKind) with
+	// an arbitrary interarrival distribution — the G in G/G/k.
+	// ArrivalRate must still be set to the distribution's rate for
+	// validation and reporting.
+	Arrival dist.Dist
+	// Service is the service-time distribution at the sustained rate,
+	// typically an Empirical distribution resampling profiler
+	// measurements ("we randomly sample service time data collected
+	// during profiling", Section 2.2).
+	Service dist.Dist
+	// ServiceRate is mu in queries/second.
+	ServiceRate float64
+	// SprintRate is mu_e (hybrid model) or mu_m (No-ML baseline), in
+	// queries/second.
+	SprintRate float64
+	// Timeout, BudgetSeconds, RefillTime define the sprinting policy.
+	// A negative timeout disables sprinting.
+	Timeout       float64
+	BudgetSeconds float64
+	RefillTime    float64
+	// Refill selects the budget-refill semantics (continuous token
+	// bucket by default; the paper's window-snap clause via
+	// sprint.RefillWindow).
+	Refill sprint.RefillMode
+	// Slots is the execution-engine concurrency (default 1).
+	Slots int
+	// NumQueries measured per run (default 1000); Warmup excluded.
+	NumQueries int
+	Warmup     int
+	Seed       uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Slots == 0 {
+		p.Slots = 1
+	}
+	if p.NumQueries == 0 {
+		p.NumQueries = 1000
+	}
+	if p.ArrivalKind == "" {
+		p.ArrivalKind = dist.KindExponential
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.ArrivalRate <= 0 || math.IsNaN(p.ArrivalRate) {
+		return fmt.Errorf("queuesim: arrival rate %v must be positive", p.ArrivalRate)
+	}
+	if p.Service == nil {
+		return fmt.Errorf("queuesim: service distribution required")
+	}
+	if p.ServiceRate <= 0 {
+		return fmt.Errorf("queuesim: service rate %v must be positive", p.ServiceRate)
+	}
+	if p.SprintRate < 0 {
+		return fmt.Errorf("queuesim: sprint rate %v must be non-negative", p.SprintRate)
+	}
+	if p.Slots < 0 || p.NumQueries < 0 || p.Warmup < 0 {
+		return fmt.Errorf("queuesim: negative slots/queries/warmup")
+	}
+	return nil
+}
+
+// speedup returns the sprint processing-rate multiplier mu_e / mu. Values
+// below 1 are allowed: a calibrated effective rate under the service rate
+// expresses sprints whose runtime overheads (toggling under congestion)
+// exceed their benefit, per Equation 2's unconstrained x. A floor of 0.1
+// guards the arithmetic.
+func (p Params) speedup() float64 {
+	if p.SprintRate <= 0 {
+		return 1
+	}
+	s := p.SprintRate / p.ServiceRate
+	if s < 0.1 {
+		return 0.1
+	}
+	return s
+}
+
+// sprintingEnabled mirrors the policy-disabling conventions of
+// sprint.Policy. Note speedups below 1 keep sprinting "enabled": the
+// mechanism still toggles, it just hurts.
+func (p Params) sprintingEnabled() bool {
+	return p.Timeout >= 0 && p.BudgetSeconds > 0 && p.speedup() != 1
+}
+
+// Result is one run's output.
+type Result struct {
+	// RTs are measured response times in arrival order.
+	RTs []float64
+	// QueueingTimes are the corresponding waits before dispatch.
+	QueueingTimes []float64
+	// SprintedCount is how many measured queries sprinted.
+	SprintedCount int
+	// SprintSeconds is the total budget consumed over the whole run
+	// (including warmup), and Duration the virtual time of the last
+	// departure. Together they tell a policy search whether a timeout
+	// exhausts the budget (the Few-to-Many criterion).
+	SprintSeconds float64
+	Duration      float64
+}
+
+// BudgetSupply returns the total sprint-seconds the policy made available
+// over the run: initial capacity plus refill accrual.
+func (r *Result) BudgetSupply(p Params) float64 {
+	return p.BudgetSeconds + refillRate(p)*r.Duration
+}
+
+// BudgetUtilization returns the fraction of the available budget the run
+// consumed, in [0, 1].
+func (r *Result) BudgetUtilization(p Params) float64 {
+	supply := r.BudgetSupply(p)
+	if supply <= 0 {
+		return 0
+	}
+	u := r.SprintSeconds / supply
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// MeanRT returns the run's mean response time.
+func (r *Result) MeanRT() float64 { return stats.Mean(r.RTs) }
+
+// query is Algorithm 1's query object.
+type query struct {
+	arrival     float64
+	service     float64
+	start       float64
+	tau         float64 // progress at segment start
+	seg         float64 // segment start time
+	sprint      bool
+	sprintStart float64
+	pending     bool
+	warm        bool
+
+	departEv  *sim.Event
+	timeoutEv *sim.Event
+	running   bool
+	sprinted  bool
+}
+
+// state is the running simulation.
+type state struct {
+	p       Params
+	eng     *sim.Engine
+	rng     *dist.RNG
+	arr     dist.Dist
+	acct    *sprint.Accountant
+	speedup float64
+
+	queue    []*query
+	running  []*query
+	free     int
+	budgetEv *sim.Event
+
+	arrived int
+	res     Result
+}
+
+// Run simulates the configured queue and returns measured response times.
+func Run(p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	arr := p.Arrival
+	if arr == nil {
+		arr = dist.ForRate(p.ArrivalKind, p.ArrivalRate)
+	}
+	var acctOpts []sprint.AccountantOption
+	switch p.Refill {
+	case sprint.RefillPaused:
+		acctOpts = append(acctOpts, sprint.WithPausedRefill())
+	case sprint.RefillWindow:
+		if p.RefillTime > 0 {
+			acctOpts = append(acctOpts, sprint.WithWindowRefill(p.RefillTime))
+		}
+	}
+	s := &state{
+		p:       p,
+		eng:     sim.New(),
+		rng:     dist.NewRNG(p.Seed),
+		arr:     arr,
+		acct:    sprint.NewAccountant(p.BudgetSeconds, refillRate(p), acctOpts...),
+		speedup: p.speedup(),
+		free:    p.Slots,
+	}
+	total := p.NumQueries + p.Warmup
+	if total == 0 {
+		return &s.res, nil
+	}
+	s.res.RTs = make([]float64, 0, p.NumQueries)
+	s.res.QueueingTimes = make([]float64, 0, p.NumQueries)
+	s.eng.Schedule(s.arr.Sample(s.rng), s.arrive)
+	s.eng.RunAll()
+	return &s.res, nil
+}
+
+// MustRun is Run for static parameters; it panics on error.
+func MustRun(p Params) *Result {
+	r, err := Run(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func refillRate(p Params) float64 {
+	if p.RefillTime <= 0 {
+		return 0
+	}
+	return p.BudgetSeconds / p.RefillTime
+}
+
+func (s *state) arrive() {
+	now := s.eng.Now()
+	id := s.arrived
+	s.arrived++
+	q := &query{
+		arrival: now,
+		service: s.p.Service.Sample(s.rng),
+		warm:    id < s.p.Warmup,
+	}
+	s.queue = append(s.queue, q)
+	if s.p.sprintingEnabled() {
+		q.timeoutEv = s.eng.Schedule(now+s.p.Timeout, func() { s.onTimeout(q) })
+	}
+	if s.arrived < s.p.NumQueries+s.p.Warmup {
+		s.eng.After(s.arr.Sample(s.rng), s.arrive)
+	}
+	s.dispatch()
+}
+
+func (s *state) dispatch() {
+	now := s.eng.Now()
+	for s.free > 0 && len(s.queue) > 0 {
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		s.free--
+		q.running = true
+		q.start = now
+		q.seg = now
+		q.tau = 0
+		s.running = append(s.running, q)
+		if q.pending && s.acct.CanSprint(now) {
+			s.engage(q)
+		} else {
+			q.departEv = s.eng.Schedule(now+q.service, func() { s.depart(q) })
+		}
+	}
+}
+
+// progress rolls q's completed-work fraction forward to now.
+func (s *state) progress(q *query, now float64) float64 {
+	rate := 1.0
+	if q.sprint {
+		rate = s.speedup
+	}
+	tau := q.tau + (now-q.seg)*rate/q.service
+	return math.Min(tau, 1)
+}
+
+func (s *state) onTimeout(q *query) {
+	now := s.eng.Now()
+	if !q.running {
+		q.pending = true
+		return
+	}
+	if !q.sprint && s.acct.CanSprint(now) {
+		q.tau = s.progress(q, now)
+		q.seg = now
+		s.engage(q)
+	}
+}
+
+// engage applies Equation 1: the remaining execution shrinks by mu/mu_e.
+func (s *state) engage(q *query) {
+	now := s.eng.Now()
+	s.acct.StartSprint(now)
+	q.sprint = true
+	q.sprinted = true
+	q.sprintStart = now
+	remaining := (1 - q.tau) * q.service / s.speedup
+	if q.departEv != nil {
+		s.eng.Cancel(q.departEv)
+	}
+	q.departEv = s.eng.Schedule(now+remaining, func() { s.depart(q) })
+	s.replanBudget()
+}
+
+func (s *state) replanBudget() {
+	now := s.eng.Now()
+	if s.budgetEv != nil {
+		s.eng.Cancel(s.budgetEv)
+		s.budgetEv = nil
+	}
+	tte := s.acct.TimeToEmpty(now)
+	if math.IsInf(tte, 1) {
+		return
+	}
+	s.budgetEv = s.eng.Schedule(now+tte, s.onBudgetEmpty)
+}
+
+func (s *state) onBudgetEmpty() {
+	now := s.eng.Now()
+	s.budgetEv = nil
+	for _, q := range s.running {
+		if !q.sprint {
+			continue
+		}
+		q.tau = s.progress(q, now)
+		q.seg = now
+		s.acct.StopSprint(now)
+		q.sprint = false
+		s.res.SprintSeconds += now - q.sprintStart
+		remaining := (1 - q.tau) * q.service
+		q.departEv = s.eng.Reschedule(q.departEv, now+remaining)
+	}
+	s.replanBudget()
+}
+
+func (s *state) depart(q *query) {
+	now := s.eng.Now()
+	s.res.Duration = now
+	if q.sprint {
+		s.acct.StopSprint(now)
+		q.sprint = false
+		s.res.SprintSeconds += now - q.sprintStart
+		s.replanBudget()
+	}
+	if q.timeoutEv != nil {
+		s.eng.Cancel(q.timeoutEv)
+		q.timeoutEv = nil
+	}
+	for i, rq := range s.running {
+		if rq == q {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	q.running = false
+	if !q.warm {
+		s.res.RTs = append(s.res.RTs, now-q.arrival)
+		s.res.QueueingTimes = append(s.res.QueueingTimes, q.start-q.arrival)
+		if q.sprinted {
+			s.res.SprintedCount++
+		}
+	}
+	s.free++
+	s.dispatch()
+}
+
+// Prediction summarises replicated simulations of one scenario.
+type Prediction struct {
+	MeanRT float64
+	P95RT  float64
+	P99RT  float64
+	// Replications and QueriesSimulated record the prediction's cost.
+	Replications     int
+	QueriesSimulated int
+}
+
+// Predict runs reps independent replications (in parallel across at most
+// workers goroutines; 0 means NumCPU) and pools their response times.
+// This is the prediction primitive behind Figure 11's throughput study.
+func Predict(p Params, reps, workers int) (Prediction, error) {
+	if err := p.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > reps {
+		workers = reps
+	}
+	all := make([][]float64, reps)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < reps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pi := p
+			pi.Seed = p.Seed + uint64(i)*0x9e3779b97f4a7c15
+			res := MustRun(pi)
+			all[i] = res.RTs
+		}(i)
+	}
+	wg.Wait()
+	pooled := make([]float64, 0, reps*p.NumQueries)
+	for _, rts := range all {
+		pooled = append(pooled, rts...)
+	}
+	sum := stats.Summarize(pooled)
+	return Prediction{
+		MeanRT:           sum.Mean,
+		P95RT:            sum.P95,
+		P99RT:            sum.P99,
+		Replications:     reps,
+		QueriesSimulated: len(pooled),
+	}, nil
+}

@@ -1,0 +1,183 @@
+// Package sim provides a minimal discrete-event simulation engine: a
+// monotonic virtual clock and a cancellable event heap. Both the
+// ground-truth testbed (internal/testbed) and the model-side queue
+// simulator (internal/queuesim) are built on this engine.
+//
+// The paper's reference simulator (Algorithm 1) steps a microsecond-
+// resolution clock; scheduling events on a heap is semantically equivalent
+// (queuesim's tests cross-validate against a faithful tick-stepped
+// implementation) and orders of magnitude faster, which is what makes the
+// policy-space exploration of Section 4 practical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Action is the callback invoked when an event fires. The engine clock has
+// already advanced to the event's time when the action runs.
+type Action func()
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// may be cancelled before they fire.
+type Event struct {
+	time      float64
+	seq       uint64 // tie-breaker: FIFO among same-time events
+	action    Action
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator core. It is not safe for concurrent
+// use; run one Engine per goroutine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers action to run at time at. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality. Events at the
+// identical time fire in scheduling order.
+func (e *Engine) Schedule(at float64, action Action) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if action == nil {
+		panic("sim: nil action")
+	}
+	ev := &Event{time: at, seq: e.seq, action: action}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules action delay time units from now.
+func (e *Engine) After(delay float64, action Action) *Event {
+	return e.Schedule(e.now+delay, action)
+}
+
+// Cancel marks an event so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op. The event is dropped lazily when it
+// reaches the top of the heap.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.cancelled = true
+}
+
+// Reschedule cancels ev and schedules a fresh event with the same action at
+// time at, returning the new event. It is the supported way to move a
+// departure or timeout after a sprint changes processing speed.
+func (e *Engine) Reschedule(ev *Event, at float64) *Event {
+	if ev == nil {
+		panic("sim: reschedule of nil event")
+	}
+	action := ev.action
+	e.Cancel(ev)
+	return e.Schedule(at, action)
+}
+
+// Step fires the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.time
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or until the next event is
+// strictly after limit (the clock then rests at min(limit, last event
+// time)). It returns the number of events fired.
+func (e *Engine) Run(limit float64) int {
+	fired := 0
+	for {
+		// Skip over cancelled events without advancing the clock.
+		for len(e.events) > 0 && e.events[0].cancelled {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) == 0 {
+			return fired
+		}
+		if e.events[0].time > limit {
+			e.now = limit
+			return fired
+		}
+		e.Step()
+		fired++
+	}
+}
+
+// RunAll fires events until none remain, returning the count. Use only
+// with workloads that are guaranteed to quiesce (e.g. a finite set of
+// queries with no regenerating timer), otherwise this loops forever.
+func (e *Engine) RunAll() int {
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	return fired
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mdsprint/internal/dist"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { order = append(order, at) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.Schedule(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("clock %v inside event, want 2.5", e.Now())
+		}
+	})
+	e.RunAll()
+	if e.Now() != 2.5 {
+		t.Fatalf("final clock %v, want 2.5", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestNilActionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil action did not panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	e := New()
+	e.Cancel(nil) // must not panic
+}
+
+func TestReschedule(t *testing.T) {
+	e := New()
+	var at float64
+	ev := e.Schedule(10, func() { at = e.Now() })
+	e.Schedule(1, func() { e.Reschedule(ev, 3) })
+	e.RunAll()
+	if at != 3 {
+		t.Fatalf("rescheduled event fired at %v, want 3", at)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var times []float64
+	e.Schedule(4, func() {
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.RunAll()
+	if len(times) != 1 || times[0] != 6 {
+		t.Fatalf("After fired at %v, want [6]", times)
+	}
+}
+
+func TestRunRespectsLimit(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	fired := e.Run(5.5)
+	if fired != 5 || count != 5 {
+		t.Fatalf("Run(5.5) fired %d/%d, want 5", fired, count)
+	}
+	if e.Now() != 5.5 {
+		t.Fatalf("clock %v after limited run, want 5.5", e.Now())
+	}
+	fired = e.Run(100)
+	if fired != 5 || count != 10 {
+		t.Fatalf("resumed run fired %d (total %d), want 5 (10)", fired, count)
+	}
+}
+
+func TestRunSkipsCancelledWithoutAdvancing(t *testing.T) {
+	e := New()
+	ev := e.Schedule(50, func() {})
+	e.Cancel(ev)
+	e.Schedule(2, func() {})
+	if fired := e.Run(100); fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+}
+
+func TestPendingCountsUncancelled(t *testing.T) {
+	e := New()
+	a := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d after cancel, want 1", e.Pending())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var log []float64
+	e.Schedule(1, func() {
+		log = append(log, e.Now())
+		e.Schedule(2, func() { log = append(log, e.Now()) })
+	})
+	e.RunAll()
+	if len(log) != 2 || log[0] != 1 || log[1] != 2 {
+		t.Fatalf("log = %v, want [1 2]", log)
+	}
+}
+
+// Property: any random batch of schedules and cancels fires exactly the
+// uncancelled events, in nondecreasing time order.
+func TestRandomScheduleProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := dist.NewRNG(seed)
+		e := New()
+		var fired []float64
+		events := make([]*Event, n)
+		times := make([]float64, n)
+		for i := 0; i < n; i++ {
+			at := r.Float64() * 1000
+			times[i] = at
+			events[i] = e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			idx := r.Intn(n)
+			cancelled[idx] = true
+			e.Cancel(events[idx])
+		}
+		e.RunAll()
+		if len(fired) != n-len(cancelled) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	r := dist.NewRNG(1)
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = r.Float64() * 1e6
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for _, at := range times {
+			e.Schedule(at, func() {})
+		}
+		e.RunAll()
+	}
+}

@@ -1,0 +1,281 @@
+package sprint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQPHRoundTrip(t *testing.T) {
+	if got := QPH(3600); got != 1 {
+		t.Fatalf("QPH(3600) = %v, want 1", got)
+	}
+	if got := ToQPH(QPH(87)); math.Abs(got-87) > 1e-9 {
+		t.Fatalf("round trip = %v, want 87", got)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := Policy{Timeout: 60, BudgetSeconds: 100, RefillTime: 500, Speedup: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	bad := []Policy{
+		{Timeout: math.NaN(), BudgetSeconds: 1, RefillTime: 1, Speedup: 2},
+		{Timeout: 1, BudgetSeconds: -1, RefillTime: 1, Speedup: 2},
+		{Timeout: 1, BudgetSeconds: 1, RefillTime: -1, Speedup: 2},
+		{Timeout: 1, BudgetSeconds: 1, RefillTime: 1, Speedup: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %v", i, p)
+		}
+	}
+}
+
+func TestSprintingDisabled(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		want bool
+	}{
+		{Policy{Timeout: -1, BudgetSeconds: 10, Speedup: 2}, true},
+		{Policy{Timeout: 0, BudgetSeconds: 10, Speedup: 2}, false},
+		{Policy{Timeout: 10, BudgetSeconds: 0, Speedup: 2}, true},
+		{Policy{Timeout: 10, BudgetSeconds: 10, Speedup: 1}, true},
+		{Policy{Timeout: 10, BudgetSeconds: 10, Speedup: 3}, false},
+	}
+	for i, c := range cases {
+		if got := c.p.SprintingDisabled(); got != c.want {
+			t.Errorf("case %d: SprintingDisabled = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRefillRate(t *testing.T) {
+	p := Policy{BudgetSeconds: 100, RefillTime: 500}
+	if got := p.RefillRate(); got != 0.2 {
+		t.Fatalf("refill rate %v, want 0.2", got)
+	}
+	if got := (Policy{BudgetSeconds: 100}).RefillRate(); got != 0 {
+		t.Fatalf("zero refill time should imply rate 0, got %v", got)
+	}
+}
+
+func TestBudgetFromPercentMatchesAWS(t *testing.T) {
+	// AWS T2.small: 720 sprint-seconds per hour = 20% of a 3600 s window.
+	if got := BudgetFromPercent(0.20, 3600); got != 720 {
+		t.Fatalf("AWS budget = %v sprint-seconds, want 720", got)
+	}
+	if got := PercentFromBudget(720, 3600); math.Abs(got-0.20) > 1e-12 {
+		t.Fatalf("inverse = %v, want 0.20", got)
+	}
+}
+
+func TestBudgetPercentRoundTripProperty(t *testing.T) {
+	f := func(pctRaw, refillRaw uint16) bool {
+		pct := float64(pctRaw%1000) / 1000
+		refill := float64(refillRaw%10000) + 1
+		b := BudgetFromPercent(pct, refill)
+		return math.Abs(PercentFromBudget(b, refill)-pct) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountantStartsFull(t *testing.T) {
+	a := NewAccountant(100, 1)
+	if got := a.Level(0); got != 100 {
+		t.Fatalf("initial level %v, want 100", got)
+	}
+}
+
+func TestAccountantDrainsDuringSprint(t *testing.T) {
+	a := NewAccountant(100, 0)
+	a.StartSprint(0)
+	if got := a.Level(30); got != 70 {
+		t.Fatalf("level after 30 s sprint = %v, want 70", got)
+	}
+	a.StopSprint(40)
+	if got := a.Level(100); got != 60 {
+		t.Fatalf("level after stop = %v, want 60 (no refill)", got)
+	}
+}
+
+func TestAccountantRefills(t *testing.T) {
+	a := NewAccountant(100, 2, WithInitialLevel(10))
+	if got := a.Level(20); got != 50 {
+		t.Fatalf("level after 20 s refill = %v, want 50", got)
+	}
+	if got := a.Level(1000); got != 100 {
+		t.Fatalf("level must clamp at capacity, got %v", got)
+	}
+}
+
+func TestAccountantNetRateDuringSprint(t *testing.T) {
+	// Refill 0.5/s, one sprint draining 1/s: net -0.5/s.
+	a := NewAccountant(100, 0.5)
+	a.StartSprint(0)
+	if got := a.Level(40); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("level = %v, want 80", got)
+	}
+}
+
+func TestAccountantConcurrentSprints(t *testing.T) {
+	a := NewAccountant(100, 0)
+	a.StartSprint(0)
+	a.StartSprint(0)
+	if got := a.Level(10); got != 80 {
+		t.Fatalf("two sprints for 10 s: level %v, want 80", got)
+	}
+	a.StopSprint(10)
+	if got := a.Level(20); got != 70 {
+		t.Fatalf("one sprint for 10 more s: level %v, want 70", got)
+	}
+}
+
+func TestAccountantTimeToEmpty(t *testing.T) {
+	a := NewAccountant(60, 0)
+	a.StartSprint(0)
+	if got := a.TimeToEmpty(0); got != 60 {
+		t.Fatalf("TimeToEmpty = %v, want 60", got)
+	}
+	a.StopSprint(30)
+	if got := a.TimeToEmpty(30); !math.IsInf(got, 1) {
+		t.Fatalf("TimeToEmpty with no sprint = %v, want +Inf", got)
+	}
+}
+
+func TestAccountantTimeToEmptyWithRefill(t *testing.T) {
+	a := NewAccountant(100, 0.5, WithInitialLevel(10))
+	a.StartSprint(0)
+	// Net -0.5/s from level 10: empty in 20 s.
+	if got := a.TimeToEmpty(0); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("TimeToEmpty = %v, want 20", got)
+	}
+}
+
+func TestAccountantHardBudgetClampsAtZero(t *testing.T) {
+	a := NewAccountant(10, 0)
+	a.StartSprint(0)
+	if got := a.Level(10.0000001); got != 0 {
+		t.Fatalf("tiny overshoot should clamp to 0, got %v", got)
+	}
+	if a.CanSprint(11) {
+		t.Fatal("hard budget at zero must refuse new sprints")
+	}
+}
+
+func TestAccountantSoftBudgetOverdraws(t *testing.T) {
+	a := NewAccountant(10, 0, WithSoftBudget())
+	a.StartSprint(0)
+	if got := a.Level(25); got != -15 {
+		t.Fatalf("soft budget level = %v, want -15", got)
+	}
+	if !a.CanSprint(25) {
+		t.Fatal("soft budget must always allow sprinting")
+	}
+	if got := a.TimeToEmpty(25); !math.IsInf(got, 1) {
+		t.Fatalf("soft budget TimeToEmpty = %v, want +Inf", got)
+	}
+}
+
+func TestAccountantPausedRefill(t *testing.T) {
+	a := NewAccountant(100, 2, WithInitialLevel(50), WithPausedRefill())
+	a.StartSprint(0)
+	// With paused refill the net rate is -1/s, not +1/s.
+	if got := a.Level(10); got != 40 {
+		t.Fatalf("paused-refill level = %v, want 40", got)
+	}
+	a.StopSprint(10)
+	if got := a.Level(20); got != 60 {
+		t.Fatalf("after sprint ends refill resumes: level %v, want 60", got)
+	}
+}
+
+func TestAccountantTimeToLevel(t *testing.T) {
+	a := NewAccountant(100, 2, WithInitialLevel(10))
+	if got := a.TimeToLevel(0, 50); got != 20 {
+		t.Fatalf("TimeToLevel = %v, want 20", got)
+	}
+	if got := a.TimeToLevel(0, 5); got != 0 {
+		t.Fatalf("already satisfied TimeToLevel = %v, want 0", got)
+	}
+	if got := a.TimeToLevel(0, 200); !math.IsInf(got, 1) {
+		t.Fatalf("unreachable TimeToLevel = %v, want +Inf", got)
+	}
+}
+
+func TestAccountantStopWithoutStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StopSprint without StartSprint did not panic")
+		}
+	}()
+	NewAccountant(10, 0).StopSprint(0)
+}
+
+func TestAccountantTimeBackwardsPanics(t *testing.T) {
+	a := NewAccountant(10, 1)
+	a.Level(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time regression did not panic")
+		}
+	}()
+	a.Level(4)
+}
+
+func TestForPolicy(t *testing.T) {
+	p := Policy{Timeout: 60, BudgetSeconds: 720, RefillTime: 3600, Speedup: 5, Soft: true}
+	a := ForPolicy(p)
+	if a.Capacity() != 720 {
+		t.Fatalf("capacity %v, want 720", a.Capacity())
+	}
+	a.StartSprint(0)
+	if got := a.Level(10000); got >= 0 {
+		t.Fatalf("soft policy should overdraw, level %v", got)
+	}
+}
+
+// Property: level never exceeds capacity and, for hard budgets, never goes
+// negative, under any interleaving of sprint starts/stops and queries.
+func TestAccountantInvariantProperty(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		cap := 50.0
+		a := NewAccountant(cap, 0.7)
+		now := 0.0
+		active := 0
+		for _, op := range ops {
+			now += float64(op%17) / 3
+			switch {
+			case op%3 == 0 && a.CanSprint(now):
+				a.StartSprint(now)
+				active++
+			case op%3 == 1 && active > 0:
+				a.StopSprint(now)
+				active--
+			default:
+				lvl := a.Level(now)
+				if lvl < 0 || lvl > cap {
+					return false
+				}
+			}
+			// Hard budgets require the driver to stop sprints at
+			// exhaustion, as the simulators do.
+			if active > 0 {
+				if tte := a.TimeToEmpty(now); !math.IsInf(tte, 1) && tte < 1e-9 {
+					for active > 0 {
+						a.StopSprint(now)
+						active--
+					}
+				}
+			}
+		}
+		lvl := a.Level(now)
+		return lvl >= 0 && lvl <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

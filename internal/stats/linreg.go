@@ -1,0 +1,42 @@
+package stats
+
+import "math"
+
+// LinearFit holds a one-dimensional least-squares regression y = A*x + B.
+// The random decision forest's leaves regress effective sprint rate on
+// marginal sprint rate with exactly this model (Figure 5 of the paper).
+type LinearFit struct {
+	A, B float64
+	// N is the number of points the fit was computed from.
+	N int
+}
+
+// FitLinear computes the least-squares line through (xs[i], ys[i]). With a
+// single point, or when all xs coincide, the slope degenerates to zero and
+// B becomes the mean of ys. It panics on mismatched or empty input.
+func FitLinear(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: FitLinear requires equal-length, non-empty slices")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-12*math.Max(1, n*sxx) {
+		return LinearFit{A: 0, B: sy / n, N: len(xs)}
+	}
+	a := (n*sxy - sx*sy) / denom
+	b := (sy - a*sx) / n
+	return LinearFit{A: a, B: b, N: len(xs)}
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.A*x + f.B }
+
+// Residual returns y - f(x).
+func (f LinearFit) Residual(x, y float64) float64 { return y - f.Predict(x) }

@@ -1,0 +1,254 @@
+// Package stats provides the summary statistics used to evaluate the
+// sprinting models: means, quantiles, coefficients of variation, empirical
+// CDFs, and the absolute-relative-error metrics reported in the paper's
+// evaluation (Section 3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if len(xs) == 0.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation (stddev / mean). It returns NaN
+// for empty input and +Inf when the mean is zero but the data varies.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	sd := Stddev(xs)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	if m == 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / math.Abs(m)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs and returns
+// NaN for empty input or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over data already sorted ascending.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Min returns the smallest element of xs, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// AbsRelError returns |predicted - observed| / observed, the paper's
+// prediction-error metric. A zero observation yields +Inf unless the
+// prediction is also zero.
+func AbsRelError(predicted, observed float64) float64 {
+	if observed == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-observed) / math.Abs(observed)
+}
+
+// AbsRelErrors maps AbsRelError over paired slices. It panics if the slices
+// differ in length.
+func AbsRelErrors(predicted, observed []float64) []float64 {
+	if len(predicted) != len(observed) {
+		panic(fmt.Sprintf("stats: %d predictions vs %d observations", len(predicted), len(observed)))
+	}
+	errs := make([]float64, len(predicted))
+	for i := range predicted {
+		errs[i] = AbsRelError(predicted[i], observed[i])
+	}
+	return errs
+}
+
+// MedianAbsRelError is the headline accuracy number in Figures 7-10: the
+// median of per-test absolute relative errors.
+func MedianAbsRelError(predicted, observed []float64) float64 {
+	return Median(AbsRelErrors(predicted, observed))
+}
+
+// Summary bundles the usual descriptive statistics of one sample.
+type Summary struct {
+	N                   int
+	Mean, Std, CoV      float64
+	Min, Median, Max    float64
+	P90, P95, P99, P999 float64
+}
+
+// Summarize computes a Summary of xs in a single sort.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Std: nan, CoV: nan, Min: nan, Median: nan, Max: nan, P90: nan, P95: nan, P99: nan, P999: nan}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Stddev(xs),
+		CoV:    CoV(xs),
+		Min:    sorted[0],
+		Median: quantileSorted(sorted, 0.5),
+		Max:    sorted[len(sorted)-1],
+		P90:    quantileSorted(sorted, 0.90),
+		P95:    quantileSorted(sorted, 0.95),
+		P99:    quantileSorted(sorted, 0.99),
+		P999:   quantileSorted(sorted, 0.999),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P99, s.Max)
+}
+
+// CDFPoint is one step of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value    float64 // sample value
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF returns the empirical CDF of xs as sorted points, one per sample.
+func CDF(xs []float64) []CDFPoint {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pts := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		pts[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return pts
+}
+
+// CDFAt returns the fraction of samples in xs that are <= v.
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	count := 0
+	for _, x := range xs {
+		if x <= v {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// FractionAbove returns the fraction of samples strictly greater than v.
+// The paper's tail-latency comparison counts executions above fixed
+// thresholds (e.g. >335 s for the 99th percentile study in Section 4.4).
+func FractionAbove(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	count := 0
+	for _, x := range xs {
+		if x > v {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi]. Samples
+// outside the range clamp to the first or last bin.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: Histogram requires nbins>0 and hi>lo")
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

@@ -1,0 +1,159 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mdsprint/internal/mech"
+	"mdsprint/internal/sprint"
+	"mdsprint/internal/workload"
+)
+
+// TestRandomPolicyInvariants fuzzes sprinting policies across workloads
+// and mechanisms and checks the per-query structural invariants.
+func TestRandomPolicyInvariants(t *testing.T) {
+	cat := workload.Catalog()
+	mechs := mech.All()
+	f := func(seed uint64, wlRaw, mRaw, utilRaw, toRaw, budRaw, refRaw uint8) bool {
+		class := cat[int(wlRaw)%len(cat)]
+		m := mechs[int(mRaw)%len(mechs)]
+		util := 0.1 + 0.85*float64(utilRaw)/255
+		cfg := Config{
+			Mix:       workload.SingleClass(class),
+			Mechanism: m,
+			Policy: sprint.Policy{
+				Timeout:       float64(toRaw) * 2,
+				BudgetSeconds: float64(budRaw) * 5,
+				RefillTime:    10 + float64(refRaw)*10,
+				Speedup:       1e9,
+			},
+			ArrivalRate: util * sprint.QPH(m.SustainedQPH(class)),
+			NumQueries:  250,
+			Warmup:      25,
+			Seed:        seed,
+		}
+		res := MustRun(cfg)
+		if len(res.Queries) != cfg.NumQueries {
+			return false
+		}
+		prevStart := math.Inf(-1)
+		for i := range res.Queries {
+			q := &res.Queries[i]
+			if q.Start < q.Arrival || q.Depart < q.Start {
+				return false
+			}
+			if math.IsNaN(q.Depart) || q.ServiceTime <= 0 {
+				return false
+			}
+			// Single slot: FIFO dispatch order.
+			if q.Start < prevStart {
+				return false
+			}
+			prevStart = q.Start
+			// Sprint bookkeeping consistency.
+			if q.Sprinted && (q.SprintTau < 0 || q.SprintTau >= 1) {
+				return false
+			}
+			if !q.Sprinted && q.SprintSeconds != 0 {
+				return false
+			}
+			// Processing never beats the best possible sprint.
+			best := q.ServiceTime / m.MarginalSpeedup(class)
+			if q.ProcessingTime() < best*0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoftBudgetOverdraws: a soft-budget policy never cuts sprints off,
+// so every timed-out query sprints even after the nominal budget drains.
+func TestSoftBudgetOverdraws(t *testing.T) {
+	jacobi := workload.MustByName("Jacobi")
+	cfg := Config{
+		Mix:       workload.SingleClass(jacobi),
+		Mechanism: mech.DVFS{},
+		Policy: sprint.Policy{
+			Timeout: 0, BudgetSeconds: 50, RefillTime: 1e12,
+			Speedup: 1e9, Soft: true,
+		},
+		ArrivalRate: 0.6 * sprint.QPH(51),
+		NumQueries:  400,
+		Warmup:      0,
+		Seed:        3,
+	}
+	res := MustRun(cfg)
+	if res.SprintedCount != len(res.Queries) {
+		t.Fatalf("soft budget: only %d/%d sprinted", res.SprintedCount, len(res.Queries))
+	}
+	total := 0.0
+	for i := range res.Queries {
+		total += res.Queries[i].SprintSeconds
+	}
+	if total <= cfg.Policy.BudgetSeconds {
+		t.Fatalf("soft budget never overdrew (%v consumed)", total)
+	}
+}
+
+// TestWindowRefillPolicyOnTestbed: the paper's refill clause flows through
+// Policy into the testbed; with frequent sprinting it supplies less than
+// continuous accrual.
+func TestWindowRefillPolicyOnTestbed(t *testing.T) {
+	jacobi := workload.MustByName("Jacobi")
+	base := Config{
+		Mix:       workload.SingleClass(jacobi),
+		Mechanism: mech.DVFS{},
+		Policy: sprint.Policy{
+			Timeout: 0, BudgetSeconds: 100, RefillTime: 500, Speedup: 1e9,
+		},
+		ArrivalRate: 0.85 * sprint.QPH(51),
+		NumQueries:  2500,
+		Warmup:      250,
+		Seed:        5,
+	}
+	cont := MustRun(base)
+	wcfg := base
+	wcfg.Policy.Refill = sprint.RefillWindow
+	win := MustRun(wcfg)
+	contSpend, winSpend := 0.0, 0.0
+	for i := range cont.Queries {
+		contSpend += cont.Queries[i].SprintSeconds
+	}
+	for i := range win.Queries {
+		winSpend += win.Queries[i].SprintSeconds
+	}
+	if winSpend >= contSpend {
+		t.Fatalf("window refill spent %v vs continuous %v", winSpend, contSpend)
+	}
+}
+
+// TestBudgetNeverOversupplied: total sprint-seconds consumed cannot
+// exceed initial capacity plus refill accrual over the run.
+func TestBudgetNeverOversupplied(t *testing.T) {
+	jacobi := workload.MustByName("Jacobi")
+	cfg := Config{
+		Mix:       workload.SingleClass(jacobi),
+		Mechanism: mech.DVFS{},
+		Policy: sprint.Policy{
+			Timeout: 0, BudgetSeconds: 80, RefillTime: 300, Speedup: 1e9,
+		},
+		ArrivalRate: 0.9 * sprint.QPH(51),
+		NumQueries:  3000,
+		Warmup:      0,
+		Seed:        7,
+	}
+	res := MustRun(cfg)
+	total := 0.0
+	for i := range res.Queries {
+		total += res.Queries[i].SprintSeconds
+	}
+	supply := cfg.Policy.BudgetSeconds + cfg.Policy.RefillRate()*res.Duration
+	if total > supply*1.02 {
+		t.Fatalf("consumed %v sprint-seconds of a %v supply", total, supply)
+	}
+}

@@ -1,0 +1,412 @@
+package testbed
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/mech"
+	"mdsprint/internal/sprint"
+	"mdsprint/internal/stats"
+	"mdsprint/internal/workload"
+)
+
+// noSprint is a policy with sprinting disabled.
+var noSprint = sprint.Policy{Timeout: -1}
+
+// jacobiCfg is a baseline config used across tests.
+func jacobiCfg() Config {
+	jacobi := workload.MustByName("Jacobi")
+	return Config{
+		Mix:         workload.SingleClass(jacobi),
+		Mechanism:   mech.DVFS{},
+		Policy:      noSprint,
+		ArrivalRate: 0.5 * sprint.QPH(51),
+		NumQueries:  2000,
+		Warmup:      200,
+		Seed:        1,
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		{Mix: workload.MixI()},
+		{Mix: workload.MixI(), Mechanism: mech.DVFS{}},
+		{Mix: workload.MixI(), Mechanism: mech.DVFS{}, ArrivalRate: -1},
+		{Mix: workload.MixI(), Mechanism: mech.DVFS{}, ArrivalRate: 1, Warmup: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := jacobiCfg()
+	a := MustRun(cfg)
+	b := MustRun(cfg)
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatalf("query counts differ: %d vs %d", len(a.Queries), len(b.Queries))
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Depart != b.Queries[i].Depart {
+			t.Fatalf("query %d departs differ: %v vs %v", i, a.Queries[i].Depart, b.Queries[i].Depart)
+		}
+	}
+	cfg.Seed = 2
+	c := MustRun(cfg)
+	if c.MeanResponseTime() == a.MeanResponseTime() {
+		t.Fatal("different seeds gave identical mean response time")
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	cfg := jacobiCfg()
+	res := MustRun(cfg)
+	if len(res.Queries) != cfg.NumQueries {
+		t.Fatalf("measured %d queries, want %d", len(res.Queries), cfg.NumQueries)
+	}
+	for i := range res.Queries {
+		if res.Queries[i].Warm {
+			t.Fatal("warmup query leaked into results")
+		}
+		if res.Queries[i].ID < cfg.Warmup {
+			t.Fatalf("query %d is from the warmup range", res.Queries[i].ID)
+		}
+	}
+}
+
+func TestFIFOSingleSlot(t *testing.T) {
+	res := MustRun(jacobiCfg())
+	starts := make([]float64, len(res.Queries))
+	for i := range res.Queries {
+		starts[i] = res.Queries[i].Start
+		q := &res.Queries[i]
+		if q.Start < q.Arrival || q.Depart < q.Start {
+			t.Fatalf("query %d timestamps out of order: %+v", q.ID, q)
+		}
+	}
+	if !sort.Float64sAreSorted(starts) {
+		t.Fatal("single-slot dispatches not FIFO")
+	}
+}
+
+func TestNoSprintMeansProcessingEqualsService(t *testing.T) {
+	cfg := jacobiCfg()
+	cfg.DisableRuntimeEffects = true
+	res := MustRun(cfg)
+	if res.SprintedCount != 0 {
+		t.Fatalf("%d queries sprinted under disabled policy", res.SprintedCount)
+	}
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		if math.Abs(q.ProcessingTime()-q.ServiceTime) > 1e-9 {
+			t.Fatalf("query %d: processing %v != service %v", q.ID, q.ProcessingTime(), q.ServiceTime)
+		}
+	}
+}
+
+// TestMM1ResponseTime cross-validates the queue manager against the M/M/1
+// closed form RT = 1/(mu - lambda).
+func TestMM1ResponseTime(t *testing.T) {
+	mu := 1.0 / 10 // 10 s mean service
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		cfg := jacobiCfg()
+		cfg.DisableRuntimeEffects = true
+		cfg.ServiceOverride = dist.NewExponential(mu)
+		cfg.ArrivalRate = rho * mu
+		cfg.NumQueries = 60000
+		cfg.Warmup = 5000
+		res := MustRun(cfg)
+		want := 1 / (mu - cfg.ArrivalRate)
+		got := res.MeanResponseTime()
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("rho=%v: mean RT %v, want %v (M/M/1)", rho, got, want)
+		}
+	}
+}
+
+// TestMD1Queueing cross-validates against the M/D/1 Pollaczek-Khinchine
+// mean wait W = rho*S / (2(1-rho)).
+func TestMD1Queueing(t *testing.T) {
+	serviceTime := 8.0
+	mu := 1 / serviceTime
+	rho := 0.7
+	cfg := jacobiCfg()
+	cfg.DisableRuntimeEffects = true
+	cfg.ServiceOverride = dist.Deterministic{Value: serviceTime}
+	cfg.ArrivalRate = rho * mu
+	cfg.NumQueries = 60000
+	cfg.Warmup = 5000
+	res := MustRun(cfg)
+	waits := make([]float64, len(res.Queries))
+	for i := range res.Queries {
+		waits[i] = res.Queries[i].QueueingTime()
+	}
+	want := rho * serviceTime / (2 * (1 - rho))
+	got := stats.Mean(waits)
+	if math.Abs(got-want)/want > 0.08 {
+		t.Fatalf("M/D/1 mean wait %v, want %v", got, want)
+	}
+}
+
+func TestFullSprintHitsMarginalRate(t *testing.T) {
+	// Timeout 0 with an effectively unlimited budget sprints every
+	// query for its whole execution: mean processing time must equal
+	// service time divided by the marginal speedup.
+	jacobi := workload.MustByName("Jacobi")
+	cfg := jacobiCfg()
+	cfg.DisableRuntimeEffects = true // no toggle cost in this check
+	cfg.Policy = sprint.Policy{Timeout: 0, BudgetSeconds: 1e12, RefillTime: 1, Speedup: 99}
+	cfg.ArrivalRate = 0.3 * sprint.QPH(51)
+	res := MustRun(cfg)
+	if res.SprintedCount != len(res.Queries) {
+		t.Fatalf("only %d/%d queries sprinted", res.SprintedCount, len(res.Queries))
+	}
+	speedup := (mech.DVFS{}).MarginalSpeedup(jacobi)
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		want := q.ServiceTime / speedup
+		if math.Abs(q.ProcessingTime()-want)/want > 0.02 {
+			t.Fatalf("query %d: sprinted processing %v, want %v", q.ID, q.ProcessingTime(), want)
+		}
+	}
+}
+
+func TestTightBudgetExhausts(t *testing.T) {
+	// Figure 1's shape: a tight, non-refilling budget lets early
+	// arrivals sprint and starves later ones.
+	cfg := jacobiCfg()
+	cfg.Policy = sprint.Policy{Timeout: 0, BudgetSeconds: 120, RefillTime: 1e12, Speedup: 99}
+	cfg.ArrivalRate = 0.8 * sprint.QPH(51)
+	cfg.Warmup = 0
+	cfg.NumQueries = 300
+	res := MustRun(cfg)
+	if res.SprintedCount == 0 {
+		t.Fatal("no queries sprinted despite timeout 0")
+	}
+	if res.SprintedCount == len(res.Queries) {
+		t.Fatal("budget never exhausted despite being tight")
+	}
+	// Sprint-seconds consumed must respect capacity plus the trickle
+	// refill (negligible here).
+	total := 0.0
+	for i := range res.Queries {
+		total += res.Queries[i].SprintSeconds
+	}
+	if total > cfg.Policy.BudgetSeconds*1.05 {
+		t.Fatalf("consumed %v sprint-seconds from a %v budget", total, cfg.Policy.BudgetSeconds)
+	}
+	// The early sprinters should precede the starved ones on average.
+	firstNonSprinter := -1
+	for i := range res.Queries {
+		if !res.Queries[i].Sprinted {
+			firstNonSprinter = i
+			break
+		}
+	}
+	if firstNonSprinter == 0 {
+		t.Fatal("first query did not sprint despite a full budget")
+	}
+}
+
+func TestSprintingImprovesResponseTimeUnderLoad(t *testing.T) {
+	base := jacobiCfg()
+	base.ArrivalRate = 0.85 * sprint.QPH(51)
+	base.NumQueries = 4000
+	base.Warmup = 400
+	slow := MustRun(base)
+	fast := base
+	fast.Policy = sprint.Policy{Timeout: 60, BudgetSeconds: 2000, RefillTime: 200, Speedup: 99}
+	sped := MustRun(fast)
+	if sped.MeanResponseTime() >= slow.MeanResponseTime() {
+		t.Fatalf("sprinting did not help: %v vs %v", sped.MeanResponseTime(), slow.MeanResponseTime())
+	}
+}
+
+func TestTimeoutWhileExecutingSprintsMidway(t *testing.T) {
+	// Low load so queries start immediately; timeout fires mid-run.
+	cfg := jacobiCfg()
+	cfg.ArrivalRate = 0.05 * sprint.QPH(51)
+	cfg.Policy = sprint.Policy{Timeout: 30, BudgetSeconds: 1e9, RefillTime: 1, Speedup: 99}
+	cfg.NumQueries = 500
+	cfg.Warmup = 0
+	res := MustRun(cfg)
+	midSprints := 0
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		if q.Sprinted && q.SprintTau > 0.05 {
+			midSprints++
+			if q.SprintTau >= 1 {
+				t.Fatalf("sprint engaged at tau=%v", q.SprintTau)
+			}
+		}
+	}
+	if midSprints == 0 {
+		t.Fatal("no mid-execution sprints despite in-flight timeouts")
+	}
+}
+
+func TestPendingSprintEngagesAtDispatchWithTauZero(t *testing.T) {
+	// Heavy load and a short timeout: timeouts fire while queued, so
+	// sprints engage at dispatch with tau == 0 (whole-execution
+	// sprints, the marginal-rate measurement condition).
+	cfg := jacobiCfg()
+	cfg.ArrivalRate = 0.95 * sprint.QPH(51)
+	cfg.Policy = sprint.Policy{Timeout: 5, BudgetSeconds: 1e9, RefillTime: 1, Speedup: 99}
+	cfg.NumQueries = 1000
+	cfg.Warmup = 100
+	res := MustRun(cfg)
+	whole := 0
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		if q.Sprinted && q.SprintTau == 0 && q.QueueingTime() > 5 {
+			whole++
+		}
+	}
+	if whole == 0 {
+		t.Fatal("no whole-execution sprints from queued timeouts")
+	}
+}
+
+func TestToggleOverheadCharged(t *testing.T) {
+	// With runtime effects on and a sprint starting at dispatch, the
+	// processing time includes the mechanism's toggle overhead.
+	jacobi := workload.MustByName("Jacobi")
+	cfg := jacobiCfg()
+	cfg.ArrivalRate = 0.1 * sprint.QPH(51)
+	cfg.Policy = sprint.Policy{Timeout: 0, BudgetSeconds: 1e9, RefillTime: 1, Speedup: 99}
+	cfg.NumQueries = 800
+	res := MustRun(cfg)
+	speedup := (mech.DVFS{}).MarginalSpeedup(jacobi)
+	overhead := (mech.DVFS{}).ToggleOverhead()
+	var diffs []float64
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		if q.Sprinted && q.SprintTau == 0 {
+			diffs = append(diffs, q.ProcessingTime()-q.ServiceTime/speedup)
+		}
+	}
+	if len(diffs) == 0 {
+		t.Fatal("no whole-execution sprints")
+	}
+	if got := stats.Median(diffs); math.Abs(got-overhead) > 0.05 {
+		t.Fatalf("median sprint overhead %v, want ~%v", got, overhead)
+	}
+}
+
+func TestMultipleSlotsReduceQueueing(t *testing.T) {
+	cfg := jacobiCfg()
+	cfg.ArrivalRate = 0.9 * sprint.QPH(51)
+	cfg.NumQueries = 3000
+	one := MustRun(cfg)
+	cfg.Slots = 2
+	two := MustRun(cfg)
+	if two.MeanResponseTime() >= one.MeanResponseTime() {
+		t.Fatalf("2 slots RT %v >= 1 slot RT %v", two.MeanResponseTime(), one.MeanResponseTime())
+	}
+}
+
+func TestMixedWorkloadRecordsClasses(t *testing.T) {
+	cfg := jacobiCfg()
+	cfg.Mix = workload.MixI()
+	cfg.ArrivalRate = 0.5 * workload.MixI().SustainedRate()
+	res := MustRun(cfg)
+	seen := map[string]int{}
+	for i := range res.Queries {
+		seen[res.Queries[i].Class]++
+	}
+	if len(seen) != 2 || seen["Jacobi"] == 0 || seen["SparkStream"] == 0 {
+		t.Fatalf("mix classes seen: %v", seen)
+	}
+}
+
+func TestPhaseWorkloadLateSprintsSlower(t *testing.T) {
+	// Leuk's front-loaded phases: late sprints (high tau) must yield a
+	// smaller achieved speedup than early sprints.
+	leuk := workload.MustByName("Leuk")
+	cfg := jacobiCfg()
+	cfg.Mix = workload.SingleClass(leuk)
+	cfg.ArrivalRate = 0.1 * sprint.QPH(25)
+	cfg.Policy = sprint.Policy{Timeout: 100, BudgetSeconds: 1e9, RefillTime: 1, Speedup: 99}
+	cfg.NumQueries = 2000
+	res := MustRun(cfg)
+	var lateSpeedups []float64
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		if q.Sprinted && q.SprintTau > 0.5 {
+			// Achieved speedup over the sprinted remainder.
+			sprintedTime := q.Depart - (q.Start + q.SprintTau*q.ServiceTime)
+			sustainedTime := (1 - q.SprintTau) * q.ServiceTime
+			lateSpeedups = append(lateSpeedups, sustainedTime/sprintedTime)
+		}
+	}
+	if len(lateSpeedups) == 0 {
+		t.Skip("no late sprints at this setting")
+	}
+	marginal := (mech.DVFS{}).MarginalSpeedup(leuk)
+	if got := stats.Median(lateSpeedups); got >= marginal {
+		t.Fatalf("late-sprint speedup %v should fall below marginal %v", got, marginal)
+	}
+}
+
+func TestBudgetRefillEnablesLaterSprints(t *testing.T) {
+	cfg := jacobiCfg()
+	cfg.ArrivalRate = 0.7 * sprint.QPH(51)
+	cfg.NumQueries = 1500
+	cfg.Warmup = 0
+	// Small budget with fast refill: sprints should keep happening
+	// throughout the run, not just at the start.
+	cfg.Policy = sprint.Policy{Timeout: 0, BudgetSeconds: 60, RefillTime: 120, Speedup: 99}
+	res := MustRun(cfg)
+	lastThird := 0
+	for i := 2 * len(res.Queries) / 3; i < len(res.Queries); i++ {
+		if res.Queries[i].Sprinted {
+			lastThird++
+		}
+	}
+	if lastThird == 0 {
+		t.Fatal("refilling budget never enabled late sprints")
+	}
+}
+
+func TestSmallBurstSpeedupClipped(t *testing.T) {
+	// Policy.Speedup below the mechanism capability commands a slower
+	// sprint (Section 4.3's small-burst).
+	jacobi := workload.MustByName("Jacobi")
+	cfg := jacobiCfg()
+	cfg.DisableRuntimeEffects = true
+	cfg.ArrivalRate = 0.1 * sprint.QPH(51)
+	cfg.Policy = sprint.Policy{Timeout: 0, BudgetSeconds: 1e9, RefillTime: 1, Speedup: 1.2}
+	res := MustRun(cfg)
+	want := 1.2
+	if (mech.DVFS{}).MarginalSpeedup(jacobi) < want {
+		t.Fatal("test assumes DVFS speedup above 1.2")
+	}
+	for i := range res.Queries {
+		q := &res.Queries[i]
+		if !q.Sprinted {
+			continue
+		}
+		got := q.ServiceTime / q.ProcessingTime()
+		if math.Abs(got-want)/want > 0.02 {
+			t.Fatalf("query %d speedup %v, want commanded %v", q.ID, got, want)
+		}
+	}
+}
+
+func TestDurationTracksLastDeparture(t *testing.T) {
+	res := MustRun(jacobiCfg())
+	maxDep := 0.0
+	for i := range res.Queries {
+		if d := res.Queries[i].Depart; d > maxDep {
+			maxDep = d
+		}
+	}
+	if res.Duration < maxDep {
+		t.Fatalf("duration %v before last measured departure %v", res.Duration, maxDep)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCatalogMatchesTable1C(t *testing.T) {
+	// Sustained/burst throughput on DVFS straight from Table 1(C).
+	want := []struct {
+		name             string
+		sustained, burst float64
+	}{
+		{"SparkStream", 87, 224},
+		{"SparkKmeans", 73, 144},
+		{"Jacobi", 51, 74},
+		{"KNN", 40, 71},
+		{"BFS", 28, 41},
+		{"Mem", 28, 37},
+		{"Leuk", 25, 29},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d classes, want %d", len(cat), len(want))
+	}
+	for i, w := range want {
+		c := cat[i]
+		if c.Name != w.name || c.SustainedQPH != w.sustained || c.BurstQPH != w.burst {
+			t.Errorf("catalog[%d] = %v, want %s %v/%v", i, c, w.name, w.sustained, w.burst)
+		}
+	}
+}
+
+func TestDVFSSpeedupsAreSane(t *testing.T) {
+	for _, c := range Catalog() {
+		s := c.DVFSSpeedup()
+		if s <= 1 || s > 3 {
+			t.Errorf("%s: DVFS speedup %v outside (1,3]", c.Name, s)
+		}
+	}
+	// The paper's ordering: Spark workloads speed up most, Leuk least.
+	if Catalog()[0].DVFSSpeedup() < Catalog()[6].DVFSSpeedup() {
+		t.Error("SparkStream should out-speed Leuk under DVFS")
+	}
+}
+
+func TestMeanServiceTime(t *testing.T) {
+	jacobi := MustByName("Jacobi")
+	want := 3600.0 / 51
+	if got := jacobi.MeanServiceTime(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Jacobi mean service time %v, want %v", got, want)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("NoSuchKernel"); err == nil {
+		t.Fatal("expected error for unknown class")
+	} else if !strings.Contains(err.Error(), "SparkStream") {
+		t.Fatalf("error should list available classes: %v", err)
+	}
+	c, err := ByName("Leuk")
+	if err != nil || c.Name != "Leuk" {
+		t.Fatalf("ByName(Leuk) = %v, %v", c, err)
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName should panic on unknown name")
+		}
+	}()
+	MustByName("bogus")
+}
+
+func TestClassFieldsWithinModelRanges(t *testing.T) {
+	for _, c := range Catalog() {
+		if c.ServiceCV < 0 || c.ServiceCV > 1 {
+			t.Errorf("%s: ServiceCV %v outside [0,1]", c.Name, c.ServiceCV)
+		}
+		if c.SerialFraction < 0 || c.SerialFraction >= 1 {
+			t.Errorf("%s: SerialFraction %v outside [0,1)", c.Name, c.SerialFraction)
+		}
+		if c.ComputeBoundness <= 0 || c.ComputeBoundness > 1 {
+			t.Errorf("%s: ComputeBoundness %v outside (0,1]", c.Name, c.ComputeBoundness)
+		}
+		if c.MaxThrottleSpeedup < 1 {
+			t.Errorf("%s: MaxThrottleSpeedup %v < 1", c.Name, c.MaxThrottleSpeedup)
+		}
+	}
+}
+
+func TestMemoryBoundOrdering(t *testing.T) {
+	// Memory/sync-bound kernels must be less compute-bound than the
+	// Spark services (the paper's qualitative characterisation).
+	stream := MustByName("SparkStream")
+	for _, name := range []string{"BFS", "Mem", "Leuk"} {
+		c := MustByName(name)
+		if c.ComputeBoundness >= stream.ComputeBoundness {
+			t.Errorf("%s compute-boundness %v >= SparkStream %v", name, c.ComputeBoundness, stream.ComputeBoundness)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+)
+
+func TestMixIMatchesPaperRate(t *testing.T) {
+	m := MixI()
+	if got := m.SustainedQPH(); math.Abs(got-35) > 0.01 {
+		t.Fatalf("Mix I sustained rate %v qph, want 35 (Section 3.4)", got)
+	}
+	if m.Interference <= 1 {
+		t.Fatalf("Mix I interference %v, want > 1", m.Interference)
+	}
+}
+
+func TestMixIIMatchesPaperRate(t *testing.T) {
+	m := MixII()
+	if got := m.SustainedQPH(); math.Abs(got-30) > 0.01 {
+		t.Fatalf("Mix II sustained rate %v qph, want 30", got)
+	}
+	if len(m.Components) != 4 {
+		t.Fatalf("Mix II has %d components, want 4", len(m.Components))
+	}
+}
+
+func TestMixRateBelowIsolatedAverage(t *testing.T) {
+	// Section 3.4: sustained rate for each mix falls below the average
+	// of the kernels in isolation due to interference.
+	for _, m := range []Mix{MixI(), MixII()} {
+		avg := 0.0
+		for _, c := range m.Components {
+			avg += c.Weight * c.Class.SustainedQPH
+		}
+		if m.SustainedQPH() >= avg {
+			t.Errorf("%s: mix rate %v >= isolated average %v", m.Name, m.SustainedQPH(), avg)
+		}
+	}
+}
+
+func TestSingleClassMix(t *testing.T) {
+	c := MustByName("Jacobi")
+	m := SingleClass(c)
+	if !m.IsSingle() {
+		t.Fatal("single-class mix not single")
+	}
+	if math.Abs(m.SustainedQPH()-51) > 1e-9 {
+		t.Fatalf("single mix rate %v, want 51", m.SustainedQPH())
+	}
+	if m.Pick(dist.NewRNG(1)) != c {
+		t.Fatal("Pick must return the only class")
+	}
+}
+
+func TestMixWeightsNormalised(t *testing.T) {
+	m := NewMix("w", []Component{
+		{Class: MustByName("Jacobi"), Weight: 2},
+		{Class: MustByName("Mem"), Weight: 6},
+	}, 0)
+	if math.Abs(m.Components[0].Weight-0.25) > 1e-12 || math.Abs(m.Components[1].Weight-0.75) > 1e-12 {
+		t.Fatalf("weights not normalised: %+v", m.Components)
+	}
+}
+
+func TestMixPickFollowsWeights(t *testing.T) {
+	m := NewMix("w", []Component{
+		{Class: MustByName("Jacobi"), Weight: 0.2},
+		{Class: MustByName("Mem"), Weight: 0.8},
+	}, 0)
+	r := dist.NewRNG(42)
+	const n = 100000
+	memCount := 0
+	for i := 0; i < n; i++ {
+		if m.Pick(r).Name == "Mem" {
+			memCount++
+		}
+	}
+	frac := float64(memCount) / n
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Fatalf("Mem picked %v of draws, want ~0.8", frac)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":          func() { NewMix("x", nil, 0) },
+		"zero weight":    func() { NewMix("x", []Component{{Class: MustByName("Jacobi"), Weight: 0}}, 0) },
+		"nil class":      func() { NewMix("x", []Component{{Class: nil, Weight: 1}}, 0) },
+		"target too big": func() { NewMix("x", []Component{{Class: MustByName("Jacobi"), Weight: 1}}, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestServiceDistReflectsInterference(t *testing.T) {
+	m := MixI()
+	jacobi := MustByName("Jacobi")
+	d := m.ServiceDist(jacobi)
+	want := jacobi.MeanServiceTime() * m.Interference
+	if got := d.Mean(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("mix service mean %v, want %v", got, want)
+	}
+	solo := SingleClass(jacobi).ServiceDist(jacobi)
+	if solo.Mean() >= d.Mean() {
+		t.Fatal("interference must inflate service time")
+	}
+}
+
+func TestMixJacobiMem(t *testing.T) {
+	m := MixJacobiMem()
+	names := map[string]bool{}
+	for _, c := range m.Components {
+		names[c.Class.Name] = true
+	}
+	if !names["Jacobi"] || !names["Mem"] {
+		t.Fatalf("MixJacobiMem components: %+v", m.Components)
+	}
+	if m.Interference <= 1 {
+		t.Fatal("MixJacobiMem should inherit interference > 1")
+	}
+}
+
+func TestMeanServiceTimeIsWeightedAverage(t *testing.T) {
+	m := NewMix("x", []Component{
+		{Class: MustByName("Jacobi"), Weight: 0.5},
+		{Class: MustByName("SparkStream"), Weight: 0.5},
+	}, 0)
+	want := 0.5*(3600.0/51) + 0.5*(3600.0/87)
+	if got := m.MeanServiceTime(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean service %v, want %v", got, want)
+	}
+}

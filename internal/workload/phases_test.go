@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformPhasesFlat(t *testing.T) {
+	p := UniformPhases()
+	for _, w := range []float64{0, 0.3, 0.7, 1} {
+		if p.Sprintability(w, false) != 1 || p.Sprintability(w, true) != 1 {
+			t.Fatalf("uniform shape not flat at %v", w)
+		}
+	}
+}
+
+func TestSprintabilityClampsProgress(t *testing.T) {
+	p := FrontLoadedPhases(2)
+	if p.Sprintability(-5, false) != p.Sprintability(0, false) {
+		t.Error("progress below 0 should clamp")
+	}
+	if p.Sprintability(5, false) != p.Sprintability(1, false) {
+		t.Error("progress above 1 should clamp")
+	}
+}
+
+func TestTailLimitedOnlyAffectsParallel(t *testing.T) {
+	p := TailLimitedPhases(0.8, 0.5)
+	if got := p.Sprintability(0.9, false); got != 1 {
+		t.Errorf("frequency shape should stay uniform, got %v", got)
+	}
+	if got := p.Sprintability(0.9, true); got != 0.5 {
+		t.Errorf("parallel tail = %v, want 0.5", got)
+	}
+	if got := p.Sprintability(0.5, true); got != 1 {
+		t.Errorf("parallel head = %v, want 1", got)
+	}
+}
+
+func TestFrontLoadedDecays(t *testing.T) {
+	p := FrontLoadedPhases(3)
+	if p.Sprintability(0, false) <= p.Sprintability(0.5, false) {
+		t.Error("front-loaded shape should decay")
+	}
+	if p.Sprintability(0.5, false) <= p.Sprintability(1, false) {
+		t.Error("front-loaded shape should keep decaying")
+	}
+}
+
+func TestIterativeRipples(t *testing.T) {
+	p := IterativePhases(4, 0.5)
+	peak := p.Sprintability(0, false)
+	trough := p.Sprintability(1.0/8, false) // half-period of 4 cycles
+	if math.Abs(peak-1) > 1e-9 {
+		t.Errorf("iterative peak = %v, want 1", peak)
+	}
+	if math.Abs(trough-0.5) > 1e-9 {
+		t.Errorf("iterative trough = %v, want 0.5", trough)
+	}
+}
+
+func TestPhaseConstructorsValidate(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"iterative n=0":       func() { IterativePhases(0, 0.5) },
+		"iterative depth>=1":  func() { IterativePhases(3, 1) },
+		"tail knee=0":         func() { TailLimitedPhases(0, 0.5) },
+		"tail level=0":        func() { TailLimitedPhases(0.5, 0) },
+		"frontloaded decay=0": func() { FrontLoadedPhases(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSprintCurveMarginalSpeedupExact(t *testing.T) {
+	// Whatever the shape, a whole-execution sprint must deliver exactly
+	// the marginal speedup — that is the normalisation contract.
+	shapes := map[string]PhaseShape{
+		"uniform":     UniformPhases(),
+		"frontloaded": FrontLoadedPhases(3),
+		"taillimited": TailLimitedPhases(0.89, 0.45),
+		"iterative":   IterativePhases(8, 0.75),
+	}
+	for name, shape := range shapes {
+		for _, s := range []float64{1, 1.16, 1.45, 2.57, 5} {
+			for _, par := range []bool{false, true} {
+				c := NewSprintCurve(shape.Shape(par), s)
+				total := 100.0
+				sprinted := c.SprintedRemaining(total, 0)
+				want := total / s
+				if math.Abs(sprinted-want)/want > 0.01 {
+					t.Errorf("%s s=%v par=%v: full sprint %v, want %v", name, s, par, sprinted, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSprintCurveEffectiveSpeedupAtZeroIsMarginal(t *testing.T) {
+	c := NewSprintCurve(FrontLoadedPhases(3).Shape(false), 2)
+	if got := c.EffectiveSpeedupFrom(0); math.Abs(got-2)/2 > 0.01 {
+		t.Fatalf("speedup from 0 = %v, want 2", got)
+	}
+}
+
+func TestSprintCurveLateSprintsWeaker(t *testing.T) {
+	// Front-loaded workloads: a sprint starting late covers only
+	// sprint-unfriendly phases, so the effective speedup must shrink.
+	c := NewSprintCurve(FrontLoadedPhases(3).Shape(false), 1.16)
+	early := c.EffectiveSpeedupFrom(0.1)
+	late := c.EffectiveSpeedupFrom(0.8)
+	if late >= early {
+		t.Fatalf("late sprint speedup %v should be below early %v", late, early)
+	}
+	if late < 1 {
+		t.Fatalf("speedup %v below 1", late)
+	}
+}
+
+func TestSprintCurveJacobiCoreScaleTail(t *testing.T) {
+	// Section 3.3: Jacobi under core scaling has marginal speedup 1.87x,
+	// but sprinting only the tail (last ~11%) yields about 1.5x.
+	shape := TailLimitedPhases(0.89, 0.45).Shape(true)
+	c := NewSprintCurve(shape, 1.87)
+	tail := c.EffectiveSpeedupFrom(0.89)
+	if tail >= 1.7 || tail <= 1.2 {
+		t.Fatalf("tail-only speedup %v, want roughly 1.5 (well below 1.87)", tail)
+	}
+	full := c.EffectiveSpeedupFrom(0)
+	if math.Abs(full-1.87)/1.87 > 0.01 {
+		t.Fatalf("full speedup %v, want 1.87", full)
+	}
+}
+
+func TestSprintCurveUniformPositionIndependent(t *testing.T) {
+	c := NewSprintCurve(UniformPhases().Shape(false), 2.5)
+	for _, tau := range []float64{0, 0.25, 0.5, 0.9} {
+		if got := c.EffectiveSpeedupFrom(tau); math.Abs(got-2.5)/2.5 > 0.01 {
+			t.Errorf("uniform curve speedup at tau=%v is %v, want 2.5", tau, got)
+		}
+	}
+}
+
+func TestSprintCurveSpeedupOne(t *testing.T) {
+	c := NewSprintCurve(FrontLoadedPhases(2).Shape(false), 1)
+	if got := c.SprintedRemaining(50, 0.5); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("speedup-1 remaining = %v, want 25", got)
+	}
+}
+
+func TestSprintCurveProgressAfter(t *testing.T) {
+	c := NewSprintCurve(UniformPhases().Shape(false), 2)
+	// Uniform speedup 2: sprinting 10 s of a 100 s job covers 20% work.
+	got := c.ProgressAfter(100, 0, 10)
+	if math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("progress after 10 s = %v, want 0.2", got)
+	}
+	// Long enough sprint finishes the job.
+	if got := c.ProgressAfter(100, 0.5, 1000); got != 1 {
+		t.Fatalf("overlong sprint progress = %v, want 1", got)
+	}
+}
+
+// Property: remaining sprinted time is monotone decreasing in tau, and
+// effective speedup stays within [1, marginal*2] for sane shapes.
+func TestSprintCurveMonotoneProperty(t *testing.T) {
+	curves := []*SprintCurve{
+		NewSprintCurve(UniformPhases().Shape(false), 1.8),
+		NewSprintCurve(FrontLoadedPhases(3).Shape(false), 1.3),
+		NewSprintCurve(TailLimitedPhases(0.7, 0.3).Shape(true), 1.9),
+	}
+	f := func(t1Raw, t2Raw uint8, ci uint8) bool {
+		c := curves[int(ci)%len(curves)]
+		t1 := float64(t1Raw) / 255
+		t2 := float64(t2Raw) / 255
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		r1 := c.SprintedRemaining(100, t1)
+		r2 := c.SprintedRemaining(100, t2)
+		if r2 > r1+1e-9 {
+			return false
+		}
+		sp := c.EffectiveSpeedupFrom(t1)
+		return sp >= 1-1e-9 && sp <= c.MarginalSpeedup()*2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSprintCurveValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("speedup < 1 did not panic")
+		}
+	}()
+	NewSprintCurve(uniform, 0.5)
+}
