@@ -1,0 +1,31 @@
+GO ?= go
+
+# tier1 is the merge gate: vet + build + race-enabled tests + the
+# disabled-hook overhead check (BenchmarkSimulateOne vs
+# BenchmarkSimulateOneTraced; baseline recorded in BENCH_obs.json).
+.PHONY: tier1
+tier1: vet build race bench-obs
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: bench-obs
+bench-obs:
+	$(GO) test -run '^$$' -bench 'SimulateOne' -benchmem .
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -9,6 +9,7 @@ package mdsprint
 
 import (
 	"fmt"
+	"math"
 
 	"mdsprint/internal/calib"
 	"mdsprint/internal/core"
@@ -16,6 +17,7 @@ import (
 	"mdsprint/internal/explore"
 	"mdsprint/internal/forest"
 	"mdsprint/internal/mech"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/sprint"
 	"mdsprint/internal/trace"
@@ -49,7 +51,29 @@ type (
 	Mix = workload.Mix
 	// WorkloadClass is one Table 1(C) workload.
 	WorkloadClass = workload.Class
+	// Metrics is a concurrency-safe registry of counters, gauges and
+	// windowed histograms with Prometheus-text and JSON exposition.
+	Metrics = obs.Registry
+	// QueryTracer receives per-query lifecycle events from the queue
+	// simulator; QueryEvent is one such event.
+	QueryTracer = obs.QueryTracer
+	QueryEvent  = obs.QueryEvent
 )
+
+// DefaultMetrics returns the process-wide registry every component
+// records into unless given an explicit one.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// NewMetrics returns an empty, isolated metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewRingTracer returns a bounded in-memory event sink retaining the last
+// capacity events (a safe default when capacity <= 0).
+func NewRingTracer(capacity int) *obs.RingTracer { return obs.NewRingTracer(capacity) }
+
+// SaveEvents and LoadEvents persist simulator lifecycle traces as JSONL.
+func SaveEvents(path string, events []QueryEvent) error { return trace.SaveEvents(path, events) }
+func LoadEvents(path string) ([]QueryEvent, error)      { return trace.LoadEvents(path) }
 
 // Arrival distribution families for Condition.ArrivalKind.
 const (
@@ -96,6 +120,8 @@ type ProfileOptions struct {
 	QueriesPerRun int
 	// Seed roots all randomness.
 	Seed uint64
+	// Metrics receives profiling progress; nil uses DefaultMetrics().
+	Metrics *Metrics
 }
 
 // Profile replays the mix on the mechanism over the sampled conditions
@@ -121,6 +147,7 @@ func Profile(mix Mix, m Mechanism, opts ProfileOptions) (*Dataset, error) {
 		QueriesPerRun: opts.QueriesPerRun,
 		Replications:  2,
 		Seed:          opts.Seed,
+		Metrics:       opts.Metrics,
 	}
 	return p.Profile(conds), nil
 }
@@ -135,6 +162,11 @@ type ModelOptions struct {
 	SimReps    int
 	// Seed roots calibration, forest training and prediction.
 	Seed uint64
+	// Metrics receives calibration/training progress (nil uses
+	// DefaultMetrics()); Tracer receives every prediction simulation's
+	// per-query lifecycle events (nil disables tracing).
+	Metrics *Metrics
+	Tracer  QueryTracer
 }
 
 // TrainHybrid builds the paper's hybrid model from a profiled dataset:
@@ -156,6 +188,8 @@ func TrainHybrid(ds *Dataset, opts ModelOptions) (Model, error) {
 			SimQueries: opts.SimQueries,
 			SimReps:    opts.SimReps,
 			Seed:       opts.Seed + 13,
+			Metrics:    opts.Metrics,
+			Tracer:     opts.Tracer,
 		},
 	)
 }
@@ -175,15 +209,26 @@ func BestTimeout(m Model, ds *Dataset, base Condition, maxTimeout float64, iters
 	if iters == 0 {
 		iters = 200
 	}
+	// Prediction failures inside the annealing closure are remembered
+	// and returned as an error; the closure itself reports +Inf so the
+	// search simply avoids the failing point instead of crashing the
+	// caller.
+	var predErr error
 	res, err := explore.MinimizeTimeout(func(to float64) float64 {
 		cond := base
 		cond.Timeout = to
 		pred, perr := m.Predict(ds, core.Scenario{Cond: cond})
 		if perr != nil {
-			panic(perr)
+			if predErr == nil {
+				predErr = perr
+			}
+			return math.Inf(1)
 		}
 		return pred.MeanRT
 	}, 0, maxTimeout, explore.Options{MaxIter: iters, Seed: seed})
+	if predErr != nil {
+		return 0, 0, fmt.Errorf("mdsprint: predicting during timeout search: %w", predErr)
+	}
 	if err != nil {
 		return 0, 0, err
 	}

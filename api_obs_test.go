@@ -1,0 +1,63 @@
+package mdsprint
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/profiler"
+)
+
+// failingModel errors on every prediction, standing in for a model whose
+// training went sour mid-search.
+type failingModel struct{}
+
+func (failingModel) Name() string { return "failing" }
+func (failingModel) Predict(*profiler.Dataset, core.Scenario) (core.Prediction, error) {
+	return core.Prediction{}, errors.New("synthetic prediction failure")
+}
+
+func TestBestTimeoutSurfacesPredictionError(t *testing.T) {
+	// A model error during the annealing search must come back as an
+	// error, not a panic.
+	_, _, err := BestTimeout(failingModel{}, &Dataset{}, Condition{}, 100, 10, 1)
+	if err == nil {
+		t.Fatal("BestTimeout swallowed the prediction error")
+	}
+	if !strings.Contains(err.Error(), "synthetic prediction failure") {
+		t.Fatalf("error %q does not wrap the model's", err)
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	if DefaultMetrics() == nil {
+		t.Fatal("no default registry")
+	}
+	reg := NewMetrics()
+	if reg == DefaultMetrics() {
+		t.Fatal("NewMetrics returned the default registry")
+	}
+	reg.Counter("x_total", "").Inc()
+	if got := reg.Counter("x_total", "").Value(); got != 1 {
+		t.Fatalf("counter %v", got)
+	}
+}
+
+func TestEventPersistenceFacade(t *testing.T) {
+	tr := NewRingTracer(8)
+	tr.Event(QueryEvent{Type: "arrival", Time: 1, Query: 0, Value: 2})
+	tr.Event(QueryEvent{Type: "departure", Time: 3, Query: 0, Value: 2})
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := SaveEvents(path, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	events, err := LoadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Type != "departure" {
+		t.Fatalf("round trip lost events: %+v", events)
+	}
+}

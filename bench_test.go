@@ -21,6 +21,7 @@ import (
 	"mdsprint/internal/experiments"
 	"mdsprint/internal/forest"
 	"mdsprint/internal/mech"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/stats"
@@ -163,6 +164,27 @@ func benchSimParams(n int) queuesim.Params {
 		SprintRate:  1.6 * mu,
 		Timeout:     60, BudgetSeconds: 300, RefillTime: 200,
 		NumQueries: n, Warmup: n / 10, Seed: 7,
+	}
+}
+
+// BenchmarkSimulateOne is the observability overhead baseline: one
+// simulator run with tracing disabled. BenchmarkSimulateOneTraced runs the
+// identical scenario with a RingTracer attached; the pair enforces the
+// <5% disabled-hook budget (compare ns/op) and prices enabled tracing.
+func BenchmarkSimulateOne(b *testing.B) {
+	p := benchSimParams(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		queuesim.MustRun(p)
+	}
+}
+
+func BenchmarkSimulateOneTraced(b *testing.B) {
+	p := benchSimParams(2000)
+	p.Tracer = obs.NewRingTracer(1 << 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		queuesim.MustRun(p)
 	}
 }
 

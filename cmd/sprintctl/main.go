@@ -14,12 +14,27 @@
 //
 // Profiling writes a JSON dataset; predict/explore train the hybrid model
 // from it on the fly.
+//
+// Global flags (before the command):
+//
+//	-debug-addr host:port   serve /metrics (Prometheus text), /debug/vars
+//	                        (expvar) and /debug/pprof for live
+//	                        introspection of long runs
+//	-quiet                  suppress progress narration (errors only)
+//	-v                      verbose narration
+//	-version                print version and exit
+//
+// Results print to stdout; progress narration goes to stderr, so output
+// composes with shell pipelines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"mdsprint/internal/calib"
@@ -30,44 +45,125 @@ import (
 	"mdsprint/internal/explore"
 	"mdsprint/internal/forest"
 	"mdsprint/internal/mech"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/sprint"
 	"mdsprint/internal/trace"
 	"mdsprint/internal/workload"
 )
 
+// version identifies sprintctl builds; the VCS revision is appended when
+// the build has one embedded.
+const version = "0.2.0"
+
+// logg narrates progress on stderr. Commands write results to stdout
+// only. The nil default (used by tests calling cmd* directly) discards
+// narration.
+var logg *obs.Logger
+
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main, factored for tests: it parses global flags, dispatches the
+// subcommand and returns the process exit code.
+func run(args []string) int {
+	globals := flag.NewFlagSet("sprintctl", flag.ExitOnError)
+	debugAddr := globals.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	quiet := globals.Bool("quiet", false, "suppress progress output (errors only)")
+	verbose := globals.Bool("v", false, "verbose progress output")
+	showVersion := globals.Bool("version", false, "print version and exit")
+	globals.Usage = usage
+	globals.Parse(args)
+
+	if *showVersion {
+		fmt.Println(versionString())
+		return 0
+	}
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *quiet {
+		level = obs.LevelError
+	}
+	logg = obs.NewLogger(os.Stderr, level)
+
+	if *debugAddr != "" {
+		if err := startDebugServer(*debugAddr); err != nil {
+			logg.Errorf("sprintctl: %v", err)
+			return 1
+		}
+	}
+
+	rest := globals.Args()
+	if len(rest) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch rest[0] {
 	case "workloads":
 		err = cmdWorkloads()
 	case "profile":
-		err = cmdProfile(os.Args[2:])
+		err = cmdProfile(rest[1:])
 	case "predict":
-		err = cmdPredict(os.Args[2:])
+		err = cmdPredict(rest[1:])
 	case "explore":
-		err = cmdExplore(os.Args[2:])
+		err = cmdExplore(rest[1:])
 	case "colocate":
-		err = cmdColocate(os.Args[2:])
+		err = cmdColocate(rest[1:])
+	case "version":
+		fmt.Println(versionString())
 	case "help", "-h", "--help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "sprintctl: unknown command %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "sprintctl: unknown command %q\n", rest[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sprintctl: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// versionString renders the version plus the embedded VCS revision, when
+// the binary was built from a checkout.
+func versionString() string {
+	v := "sprintctl " + version
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				v += " (" + s.Value[:12] + ")"
+			}
+		}
+	}
+	return v
+}
+
+// startDebugServer mounts the observability endpoints on addr and serves
+// them in the background for the life of the process. Listening happens
+// synchronously so port conflicts fail fast.
+func startDebugServer(addr string) error {
+	obs.PublishDefault()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	logg.Infof("debug endpoints on http://%s/metrics, .../debug/vars, .../debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, obs.DebugMux(obs.Default())); err != nil {
+			logg.Errorf("debug server: %v", err)
+		}
+	}()
+	return nil
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sprintctl <workloads|profile|predict|explore|colocate> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|colocate> [flags]")
+	fmt.Fprintln(os.Stderr, "       sprintctl -version")
 	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")
 }
 
@@ -115,7 +211,7 @@ func cmdProfile(args []string) error {
 		QueriesPerRun: *queries, Replications: 2, Seed: *seed,
 	}
 	conds := profiler.PaperGrid().Sample(*samples, *seed+3)
-	fmt.Printf("profiling %s on %s over %d conditions...\n", mix.Name, m.Name(), len(conds))
+	logg.Infof("profiling %s on %s over %d conditions...", mix.Name, m.Name(), len(conds))
 	ds := p.Profile(conds)
 	if err := trace.SaveDataset(*out, ds); err != nil {
 		return err
@@ -173,7 +269,7 @@ func cmdPredict(args []string) error {
 	var model core.Model
 	switch *modelName {
 	case "hybrid":
-		fmt.Println("training hybrid model (calibrating effective sprint rates)...")
+		logg.Infof("training hybrid model (calibrating effective sprint rates)...")
 		model, err = trainHybrid(ds, *seed)
 		if err != nil {
 			return err
@@ -218,7 +314,7 @@ func cmdExplore(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("training hybrid model...")
+	logg.Infof("training hybrid model...")
 	h, err := trainHybrid(ds, *seed)
 	if err != nil {
 		return err
@@ -233,7 +329,7 @@ func cmdExplore(args []string) error {
 		}
 		return pred.MeanRT
 	}
-	fmt.Printf("annealing timeouts in [0, %.0f] (%d iterations)...\n", *maxTimeout, *iters)
+	logg.Infof("annealing timeouts in [0, %.0f] (%d iterations)...", *maxTimeout, *iters)
 	res, err := explore.MinimizeTimeout(obj, 0, *maxTimeout, explore.Options{MaxIter: *iters, Seed: *seed})
 	if err != nil {
 		return err
@@ -256,7 +352,7 @@ func cmdColocate(args []string) error {
 	}
 	combo := combos[*comboIdx-1]
 	est := colocate.SimEstimator{SimQueries: *simQueries, SimReps: 2, Seed: *seed}
-	fmt.Printf("planning %s under a %.0f%% response-time SLO...\n\n", combo.Name, (colocate.SLOFactor-1)*100)
+	logg.Infof("planning %s under a %.0f%% response-time SLO...", combo.Name, (colocate.SLOFactor-1)*100)
 	for _, planner := range []struct {
 		name string
 		p    colocate.Planner

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 )
@@ -46,6 +47,28 @@ type Options struct {
 	Seed uint64
 	// Workers bounds CalibrateDataset concurrency (default NumCPU).
 	Workers int
+	// Metrics receives calibration progress (records calibrated,
+	// simulator evaluations, convergence); nil records into
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// calibMetrics resolves the calibration instrumentation handles.
+type calibMetrics struct {
+	records   *obs.Counter
+	evals     *obs.Counter
+	converged *obs.Counter
+	relError  *obs.Histogram
+}
+
+func (o Options) metrics() calibMetrics {
+	reg := obs.Or(o.Metrics)
+	return calibMetrics{
+		records:   reg.Counter("mdsprint_calib_records_total", "effective-sprint-rate records calibrated"),
+		evals:     reg.Counter("mdsprint_calib_sim_evals_total", "queue-simulator evaluations spent calibrating"),
+		converged: reg.Counter("mdsprint_calib_converged_total", "calibrations that met the tolerance"),
+		relError:  reg.Histogram("mdsprint_calib_rel_error", "achieved |simRT-obsRT|/obsRT per record", 0),
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -135,19 +158,35 @@ func SimulateRT(ds *profiler.Dataset, obs profiler.Observation, rate float64, o 
 
 // EffectiveRate finds mu_e for one observation. It returns the calibrated
 // record; search failures degrade gracefully to the nearest bound.
-func EffectiveRate(ds *profiler.Dataset, obs profiler.Observation, opts Options) Record {
+func EffectiveRate(ds *profiler.Dataset, obs profiler.Observation, opts Options) (rec Record) {
 	o := opts.withDefaults()
 	mu := ds.ServiceRate
 	mum := conditionMarginal(ds, obs.Cond)
 	target := obs.MeanRT
-	rec := Record{
+	rec = Record{
 		Cond:         obs.Cond,
 		ArrivalRate:  obs.ArrivalRate,
 		ServiceRate:  mu,
 		MarginalRate: mum,
 		ObservedRT:   target,
 	}
-	eval := func(rate float64) float64 { return SimulateRT(ds, obs, rate, o) }
+	evals := 0
+	eval := func(rate float64) float64 {
+		evals++
+		return SimulateRT(ds, obs, rate, o)
+	}
+	// Flush this record's instrumentation once, whichever path returns.
+	defer func() {
+		m := o.metrics()
+		m.records.Inc()
+		m.evals.Add(float64(evals))
+		if relErr := rec.RelError(); !math.IsNaN(relErr) {
+			m.relError.Observe(relErr)
+			if relErr <= o.Tolerance {
+				m.converged.Inc()
+			}
+		}
+	}()
 
 	if o.Stepping {
 		rec.EffectiveRate, rec.SimRT = stepSearch(eval, mu, mum, target, o)

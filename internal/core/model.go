@@ -19,11 +19,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mdsprint/internal/ann"
 	"mdsprint/internal/calib"
 	"mdsprint/internal/dist"
 	"mdsprint/internal/forest"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 )
@@ -125,9 +127,18 @@ type TrainingSet struct {
 	Observations []profiler.Observation
 }
 
+// modelMetrics count model predictions in the default registry.
+var modelMetrics = struct {
+	predictions *obs.Counter
+	seconds     *obs.Histogram
+}{
+	predictions: obs.Default().Counter("mdsprint_model_predictions_total", "simulator-backed model predictions served"),
+	seconds:     obs.Default().Histogram("mdsprint_model_predict_seconds", "wall-clock seconds per model prediction", 0),
+}
+
 // simulate runs the timeout-aware queue simulator for a scenario at the
-// given sprint rate.
-func simulate(ds *profiler.Dataset, sc Scenario, rate float64, queries, reps, workers int, seed uint64) (Prediction, error) {
+// given sprint rate, forwarding lifecycle events to tracer when non-nil.
+func simulate(ds *profiler.Dataset, sc Scenario, rate float64, queries, reps, workers int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
 	if len(ds.ServiceSamples) == 0 {
 		return Prediction{}, fmt.Errorf("core: dataset %s/%s has no service samples", ds.MixName, ds.MechName)
 	}
@@ -143,11 +154,15 @@ func simulate(ds *profiler.Dataset, sc Scenario, rate float64, queries, reps, wo
 		NumQueries:    queries,
 		Warmup:        queries / 10,
 		Seed:          seed,
+		Tracer:        tracer,
 	}
+	start := time.Now()
 	pred, err := queuesim.Predict(p, reps, workers)
 	if err != nil {
 		return Prediction{}, err
 	}
+	modelMetrics.predictions.Inc()
+	modelMetrics.seconds.Observe(time.Since(start).Seconds())
 	return Prediction{
 		MeanRT:     pred.MeanRT,
 		P95RT:      pred.P95RT,
@@ -234,6 +249,8 @@ type NoML struct {
 	SimReps    int
 	Workers    int
 	Seed       uint64
+	// Tracer forwards the prediction simulations' lifecycle events.
+	Tracer obs.QueryTracer
 }
 
 func (n *NoML) Name() string { return "No-ML" }
@@ -246,7 +263,7 @@ func (n *NoML) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
 	if reps == 0 {
 		reps = 2
 	}
-	return simulate(ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Workers, n.Seed)
+	return simulate(ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Workers, n.Seed, n.Tracer)
 }
 
 // ensure interface conformance.
@@ -266,6 +283,7 @@ type Hybrid struct {
 	simReps    int
 	workers    int
 	seed       uint64
+	tracer     obs.QueryTracer
 }
 
 // HybridOptions tunes hybrid training and prediction.
@@ -277,6 +295,11 @@ type HybridOptions struct {
 	SimReps    int
 	Workers    int
 	Seed       uint64
+	// Metrics receives calibration progress (threaded into Calib when
+	// Calib.Metrics is unset); Tracer receives prediction lifecycle
+	// events. Both may be nil.
+	Metrics *obs.Registry
+	Tracer  obs.QueryTracer
 }
 
 // TrainHybrid calibrates effective sprint rates for every training
@@ -285,10 +308,14 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("core: no training sets")
 	}
+	copts := o.Calib
+	if copts.Metrics == nil {
+		copts.Metrics = o.Metrics
+	}
 	var samples []forest.Sample
 	var records []calib.Record
 	for _, set := range sets {
-		recs := calib.CalibrateDataset(set.Dataset, set.Observations, o.Calib)
+		recs := calib.CalibrateDataset(set.Dataset, set.Observations, copts)
 		for i, rec := range recs {
 			obs := set.Observations[i]
 			samples = append(samples, forest.Sample{
@@ -317,6 +344,7 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 		simReps:    o.SimReps,
 		workers:    o.Workers,
 		seed:       o.Seed,
+		tracer:     o.Tracer,
 	}
 	if h.simQueries == 0 {
 		h.simQueries = 4000
@@ -361,7 +389,7 @@ func (h *Hybrid) EffectiveRate(ds *profiler.Dataset, sc Scenario) float64 {
 // Predict runs the Figure 2 pipeline: features -> forest -> effective
 // sprint rate -> timeout-aware queue simulation -> response time.
 func (h *Hybrid) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
-	return simulate(ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.workers, h.seed)
+	return simulate(ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.workers, h.seed, h.tracer)
 }
 
 // Records exposes the calibrated training rows (for diagnostics and the

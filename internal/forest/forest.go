@@ -17,8 +17,13 @@ import (
 	"sort"
 
 	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/stats"
 )
+
+// treesTrained counts per-tree training progress in the default registry,
+// so a long TrainHybrid shows forest construction advancing live.
+var treesTrained = obs.Default().Counter("mdsprint_forest_trees_trained_total", "regression trees trained across all forests")
 
 // Sample is one training row: predictive features, the leaf-regression
 // abscissa x (the marginal sprint rate), and the target y (the effective
@@ -138,6 +143,7 @@ func Train(samples []Sample, names []string, cfg Config) (*Forest, error) {
 		tr := &tree{features: feats}
 		tr.root = f.grow(boot, feats, c, 0)
 		f.trees = append(f.trees, tr)
+		treesTrained.Inc()
 	}
 	return f, nil
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultHistogramWindow is the number of observations a histogram retains
+// when the registry call does not specify a window.
+const DefaultHistogramWindow = 1024
+
+// Histogram is a windowed distribution metric: it retains the last
+// `window` observations in a ring buffer and reports quantiles over that
+// window, plus an all-time count and sum. Windowing keeps long runs
+// honest — the quantiles track recent behaviour instead of averaging the
+// whole process lifetime — and bounds memory.
+//
+// All methods are safe for concurrent use and no-op on a nil receiver.
+type Histogram struct {
+	mu    sync.Mutex
+	buf   []float64 // ring of the last len(buf) observations
+	next  int       // ring write cursor
+	fill  int       // how much of buf is valid
+	count uint64    // all-time observations
+	sum   float64   // all-time sum
+}
+
+func newHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = DefaultHistogramWindow
+	}
+	return &Histogram{buf: make([]float64, window)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	h.buf[h.next] = v
+	h.next = (h.next + 1) % len(h.buf)
+	if h.fill < len(h.buf) {
+		h.fill++
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the windowed
+// observations (sorted ascending) plus the all-time count and sum.
+type HistogramSnapshot struct {
+	Window []float64
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the windowed
+// observations by the nearest-rank method, or NaN when the window is
+// empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	n := len(s.Window)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.Window[0]
+	}
+	if q >= 1 {
+		return s.Window[n-1]
+	}
+	rank := int(math.Ceil(q*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.Window[rank]
+}
+
+// Mean returns the windowed mean, or NaN when the window is empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if len(s.Window) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, v := range s.Window {
+		total += v
+	}
+	return total / float64(len(s.Window))
+}
+
+// Snapshot copies out the current window (sorted) and lifetime totals.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	out := HistogramSnapshot{
+		Window: make([]float64, h.fill),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+	copy(out.Window, h.buf[:h.fill])
+	h.mu.Unlock()
+	sort.Float64s(out.Window)
+	return out
+}
+
+// Count returns the all-time observation count.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramWindowing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", 4)
+	for v := 1; v <= 6; v++ {
+		h.Observe(float64(v))
+	}
+	s := h.Snapshot()
+	// The ring keeps the last 4 observations; count and sum are
+	// all-time.
+	if want := []float64{3, 4, 5, 6}; len(s.Window) != len(want) {
+		t.Fatalf("window %v, want %v", s.Window, want)
+	} else {
+		for i, v := range want {
+			if s.Window[i] != v {
+				t.Fatalf("window %v, want %v", s.Window, want)
+			}
+		}
+	}
+	if s.Count != 6 || s.Sum != 21 {
+		t.Fatalf("count/sum = %d/%v, want 6/21", s.Count, s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Fatalf("median %v, want 4", got)
+	}
+	if got := s.Quantile(0); got != 3 {
+		t.Fatalf("q0 %v, want 3", got)
+	}
+	if got := s.Quantile(1); got != 6 {
+		t.Fatalf("q1 %v, want 6", got)
+	}
+	if got := s.Mean(); got != 4.5 {
+		t.Fatalf("windowed mean %v, want 4.5", got)
+	}
+}
+
+func TestHistogramEmptyAndNaN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", 4)
+	if !math.IsNaN(h.Snapshot().Quantile(0.5)) {
+		t.Fatal("empty-window quantile is not NaN")
+	}
+	if !math.IsNaN(h.Snapshot().Mean()) {
+		t.Fatal("empty-window mean is not NaN")
+	}
+	h.Observe(math.NaN()) // ignored, would poison sums
+	if h.Count() != 0 {
+		t.Fatal("NaN observation counted")
+	}
+}
+
+func TestHistogramDefaultWindow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", 0)
+	for i := 0; i < DefaultHistogramWindow+10; i++ {
+		h.Observe(1)
+	}
+	if got := len(h.Snapshot().Window); got != DefaultHistogramWindow {
+		t.Fatalf("window size %d, want %d", got, DefaultHistogramWindow)
+	}
+}

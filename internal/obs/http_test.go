@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(goldenRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE test_requests_total counter") ||
+		!strings.Contains(body, "test_requests_total 3") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	resp, body = get("/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json content-type %q", ct)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("/metrics.json invalid: %v\n%s", err, body)
+	}
+	if metrics["test_queue_depth"] != 2.5 {
+		t.Fatalf("/metrics.json gauge = %v", metrics["test_queue_depth"])
+	}
+
+	// expvar always publishes cmdline and memstats.
+	_, body = get("/debug/vars")
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars invalid JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("/debug/vars missing memstats")
+	}
+
+	_, body = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index:\n%s", body)
+	}
+}
+
+func TestPublishDefaultIdempotent(t *testing.T) {
+	// expvar.Publish panics on duplicate names; PublishDefault must be
+	// callable any number of times.
+	PublishDefault()
+	PublishDefault()
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.Debugf("hidden %d", 1)
+	l.Infof("info %d", 2)
+	l.Warnf("warn %d", 3)
+	l.Errorf("fail %d", 4)
+	got := buf.String()
+	if strings.Contains(got, "hidden") {
+		t.Fatalf("debug line leaked at info level:\n%s", got)
+	}
+	for _, want := range []string{"info 2\n", "warning: warn 3\n", "error: fail 4\n"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLoggerSetLevel(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelError)
+	l.Infof("quiet")
+	l.SetLevel(LevelDebug)
+	l.Debugf("loud")
+	if got := buf.String(); got != "loud\n" {
+		t.Fatalf("output %q, want only the post-SetLevel debug line", got)
+	}
+	l.SetLevel(LevelSilent)
+	l.Errorf("nothing")
+	if got := buf.String(); got != "loud\n" {
+		t.Fatalf("silent level still wrote: %q", got)
+	}
+}
+
+func TestLoggerNilSafety(t *testing.T) {
+	var l *Logger
+	// Must not panic; library code logs unconditionally.
+	l.Debugf("a")
+	l.Infof("b")
+	l.Warnf("c")
+	l.Errorf("d")
+	l.SetLevel(LevelDebug)
+}

@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry. All methods are safe on a nil receiver
+// (they no-op), so instrumented code never has to branch on "is
+// observability configured".
+type Counter struct {
+	bits atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 || math.IsNaN(delta) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a metric that can go up and down. Nil receivers no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// metric is one registered name.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics. Get-or-create accessors make call sites
+// idempotent; a nil *Registry hands back nil metrics whose methods no-op,
+// so optional instrumentation threads through APIs as a single pointer.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the internal packages
+// record into when no explicit registry is supplied.
+func Default() *Registry { return defaultRegistry }
+
+// Or returns r, or the default registry when r is nil. It is the helper
+// instrumented packages use to resolve an optional Metrics field.
+func Or(r *Registry) *Registry {
+	if r != nil {
+		return r
+	}
+	return defaultRegistry
+}
+
+// lookup returns the existing metric under name, verifying its kind.
+func (r *Registry) lookup(name string, kind metricKind) (*metric, bool) {
+	m, ok := r.metrics[name]
+	if ok && m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, m.kind, kind))
+	}
+	return m, ok
+}
+
+// Counter returns the counter registered under name, creating it (with
+// help text) on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	m, ok := r.lookup(name, kindCounter)
+	r.mu.RUnlock()
+	if ok {
+		return m.counter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindCounter); ok {
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	m, ok := r.lookup(name, kindGauge)
+	r.mu.RUnlock()
+	if ok {
+		return m.gauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindGauge); ok {
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, kind: kindGauge, gauge: g}
+	return g
+}
+
+// Histogram returns the windowed histogram registered under name, creating
+// it with the given window (number of retained observations; 0 means
+// DefaultHistogramWindow) on first use.
+func (r *Registry) Histogram(name, help string, window int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	m, ok := r.lookup(name, kindHistogram)
+	r.mu.RUnlock()
+	if ok {
+		return m.hist
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name, kindHistogram); ok {
+		return m.hist
+	}
+	h := newHistogram(window)
+	r.metrics[name] = &metric{name: name, help: help, kind: kindHistogram, hist: h}
+	return h
+}
+
+// sorted returns the registered metrics in name order.
+func (r *Registry) sorted() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatValue renders a sample the way the Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// summaryQuantiles are the quantile labels exported for histograms.
+var summaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// WritePrometheus writes the registry in Prometheus text exposition format
+// (version 0.0.4). Histograms export as summaries with quantile labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.counter.Value())); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.gauge.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			for _, q := range summaryQuantiles {
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n",
+					m.name, strconv.FormatFloat(q, 'g', -1, 64), formatValue(s.Quantile(q))); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.name, formatValue(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.name, s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonValue returns the exposition value for one metric. NaN quantiles are
+// reported as null (JSON has no NaN).
+func (m *metric) jsonValue() any {
+	switch m.kind {
+	case kindCounter:
+		return m.counter.Value()
+	case kindGauge:
+		return m.gauge.Value()
+	default:
+		s := m.hist.Snapshot()
+		qs := make(map[string]any, len(summaryQuantiles))
+		for _, q := range summaryQuantiles {
+			v := s.Quantile(q)
+			key := "p" + strconv.FormatFloat(q*100, 'g', -1, 64)
+			if math.IsNaN(v) {
+				qs[key] = nil
+			} else {
+				qs[key] = v
+			}
+		}
+		return map[string]any{"count": s.Count, "sum": s.Sum, "quantiles": qs}
+	}
+}
+
+// snapshotJSON builds the JSON exposition object.
+func (r *Registry) snapshotJSON() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		out[m.name] = m.jsonValue()
+	}
+	return out
+}
+
+// WriteJSON writes the registry as one JSON object keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.snapshotJSON())
+}
+
+// PublishExpvar publishes the registry under the given expvar name, so it
+// appears in /debug/vars. Publishing the same name twice panics (expvar
+// semantics); sprintctl guards with a sync.Once.
+func (r *Registry) PublishExpvar(name string) {
+	reg := r
+	expvar.Publish(name, expvar.Func(func() any {
+		if reg == nil {
+			return nil
+		}
+		return reg.snapshotJSON()
+	}))
+}
+
+var publishDefaultOnce sync.Once
+
+// PublishDefault publishes the default registry as expvar "mdsprint",
+// once per process.
+func PublishDefault() {
+	publishDefaultOnce.Do(func() { defaultRegistry.PublishExpvar("mdsprint") })
+}

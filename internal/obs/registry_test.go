@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value %v, want 3.5", got)
+	}
+	// Counters only go up; negative and NaN deltas are ignored.
+	c.Add(-1)
+	c.Add(math.NaN())
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter moved on invalid delta: %v", got)
+	}
+	// Get-or-create returns the same counter.
+	if r.Counter("c_total", "other help") != c {
+		t.Fatal("second Counter call returned a different metric")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "help")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge value %v, want 2.5", got)
+	}
+	if r.Gauge("g", "") != g {
+		t.Fatal("second Gauge call returned a different metric")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// A nil registry hands back nil metrics; every method must no-op
+	// rather than dereference.
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", 0)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil metrics")
+	}
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metric reported non-zero state")
+	}
+	if s := h.Snapshot(); len(s.Window) != 0 {
+		t.Fatal("nil histogram snapshot non-empty")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil || buf.String() != "{}" {
+		t.Fatalf("nil registry JSON = %q, %v", buf.String(), err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	// Hammer get-or-create plus updates from many goroutines; run under
+	// -race this doubles as the data-race check.
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared_total", "").Inc()
+				r.Gauge("shared_gauge", "").Set(float64(i))
+				r.Histogram("shared_hist", "", 64).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter %v after concurrent increments, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared_hist", "", 64).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count %d, want %d", got, workers*perWorker)
+	}
+}
+
+// goldenRegistry builds the fixed registry behind the exposition tests.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "requests handled")
+	c.Add(2)
+	c.Inc()
+	r.Gauge("test_queue_depth", "current queue depth").Set(2.5)
+	h := r.Histogram("test_latency_seconds", "simulated latency", 8)
+	for v := 1; v <= 5; v++ {
+		h.Observe(float64(v))
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	// Structural checks beyond the golden bytes: every sample line's
+	// metric has a preceding TYPE line, and histograms export the
+	// full summary set (quantiles + _sum + _count).
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		"# TYPE test_queue_depth gauge",
+		"# TYPE test_latency_seconds summary",
+		`test_latency_seconds{quantile="0.5"} 3`,
+		"test_latency_seconds_sum 15",
+		"test_latency_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") != 1 {
+			t.Errorf("sample line %q is not `name value`", line)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exposition is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out["test_requests_total"] != 3.0 {
+		t.Fatalf("counter in JSON = %v, want 3", out["test_requests_total"])
+	}
+	hist, ok := out["test_latency_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram JSON %T", out["test_latency_seconds"])
+	}
+	if hist["count"] != 5.0 || hist["sum"] != 15.0 {
+		t.Fatalf("histogram count/sum = %v/%v", hist["count"], hist["sum"])
+	}
+	qs := hist["quantiles"].(map[string]any)
+	if qs["p50"] != 3.0 {
+		t.Fatalf("p50 = %v, want 3", qs["p50"])
+	}
+}
+
+func TestWriteJSONEmptyHistogramQuantilesNull(t *testing.T) {
+	// JSON has no NaN: empty-window quantiles must encode as null.
+	r := NewRegistry()
+	r.Histogram("empty_hist", "", 4)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if q := out["empty_hist"]["quantiles"].(map[string]any); q["p50"] != nil {
+		t.Fatalf("empty-window p50 = %v, want null", q["p50"])
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) != Default() {
+		t.Fatal("Or(nil) is not the default registry")
+	}
+	r := NewRegistry()
+	if Or(r) != r {
+		t.Fatal("Or(r) did not return r")
+	}
+}

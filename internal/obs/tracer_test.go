@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func ev(i int) QueryEvent {
+	return QueryEvent{Type: EvArrival, Time: float64(i), Query: i}
+}
+
+func TestRingTracerRetainsAll(t *testing.T) {
+	tr := NewRingTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Event(ev(i))
+	}
+	events := tr.Events()
+	if len(events) != 5 || tr.Total() != 5 {
+		t.Fatalf("%d events, total %d; want 5, 5", len(events), tr.Total())
+	}
+	for i, e := range events {
+		if e.Query != i {
+			t.Fatalf("event %d is query %d; not oldest-first", i, e.Query)
+		}
+	}
+}
+
+func TestRingTracerWraparound(t *testing.T) {
+	tr := NewRingTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Event(ev(i))
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// The ring keeps the newest 4 (queries 2..5), oldest first.
+	for i, e := range events {
+		if e.Query != i+2 {
+			t.Fatalf("events %v: want queries 2..5 oldest-first", events)
+		}
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("total %d, want 6 (evicted events still counted)", tr.Total())
+	}
+	if got := tr.Count(EvArrival); got != 4 {
+		t.Fatalf("Count(arrival) = %d over the retained window, want 4", got)
+	}
+}
+
+func TestRingTracerDefaultCapacity(t *testing.T) {
+	tr := NewRingTracer(0)
+	for i := 0; i < 5000; i++ {
+		tr.Event(ev(i))
+	}
+	if got := len(tr.Events()); got != 4096 {
+		t.Fatalf("default capacity retained %d, want 4096", got)
+	}
+}
+
+func TestRingTracerConcurrent(t *testing.T) {
+	// RingTracer is shared across parallel Predict replications; this is
+	// the -race check for that contract.
+	tr := NewRingTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Event(ev(i))
+				tr.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Fatalf("total %d, want %d", tr.Total(), 8*500)
+	}
+}
+
+func TestTracerFuncAndMultiTracer(t *testing.T) {
+	var got []QueryEvent
+	fn := TracerFunc(func(e QueryEvent) { got = append(got, e) })
+	ring := NewRingTracer(4)
+	multi := MultiTracer{fn, nil, ring} // nil entries are skipped
+	multi.Event(ev(7))
+	if len(got) != 1 || got[0].Query != 7 {
+		t.Fatalf("TracerFunc saw %v", got)
+	}
+	if ring.Total() != 1 {
+		t.Fatalf("ring saw %d events", ring.Total())
+	}
+}

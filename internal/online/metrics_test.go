@@ -1,0 +1,56 @@
+package online
+
+import (
+	"testing"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/profiler"
+)
+
+func TestControllerRecordsDecisionMetrics(t *testing.T) {
+	// Every model-driven re-selection must land in the metrics registry:
+	// the retune counter, the chosen timeout, the rate that drove it,
+	// and (from the second decision on) the timeout it replaced.
+	ds := onlineDataset(t)
+	reg := obs.NewRegistry()
+	c := &Controller{
+		Model:   &core.NoML{SimQueries: 800, SimReps: 1, Seed: 13},
+		Dataset: ds,
+		Base: profiler.Condition{
+			ArrivalKind: dist.KindExponential,
+			RefillTime:  600, BudgetPct: 0.15,
+		},
+		AnnealIter: 12,
+		Seed:       17,
+		Metrics:    reg,
+	}
+	to1, err := c.Timeout(0.4 * ds.ServiceRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mdsprint_online_retunes_total", "").Value(); got != 1 {
+		t.Fatalf("retunes counter %v after first decision, want 1", got)
+	}
+	if got := reg.Gauge("mdsprint_online_timeout_seconds", "").Value(); got != to1 {
+		t.Fatalf("timeout gauge %v, want %v", got, to1)
+	}
+	rate2 := 0.9 * ds.ServiceRate
+	to2, err := c.Timeout(rate2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mdsprint_online_retunes_total", "").Value(); got != 2 {
+		t.Fatalf("retunes counter %v after drift, want 2", got)
+	}
+	if got := reg.Gauge("mdsprint_online_prev_timeout_seconds", "").Value(); got != to1 {
+		t.Fatalf("previous-timeout gauge %v, want %v", got, to1)
+	}
+	if got := reg.Gauge("mdsprint_online_timeout_seconds", "").Value(); got != to2 {
+		t.Fatalf("timeout gauge %v, want %v", got, to2)
+	}
+	if got := reg.Gauge("mdsprint_online_estimated_rate_qps", "").Value(); got != rate2 {
+		t.Fatalf("rate gauge %v, want %v", got, rate2)
+	}
+}

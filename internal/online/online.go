@@ -11,6 +11,7 @@ import (
 
 	"mdsprint/internal/core"
 	"mdsprint/internal/explore"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 )
 
@@ -120,11 +121,27 @@ type Controller struct {
 	// RetuneThreshold is the relative rate drift that triggers a new
 	// search (default 0.15).
 	RetuneThreshold float64
+	// Metrics records each re-selection decision (old timeout, new
+	// timeout, estimated rate, retune count); nil records into
+	// obs.Default() so adaptive-control behaviour is inspectable from
+	// sprintctl's debug endpoints.
+	Metrics *obs.Registry
 
 	tunedRate    float64
 	currentTO    float64
 	haveDecision bool
 	retunes      int
+}
+
+// recordDecision publishes one re-selection to the metrics registry.
+func (c *Controller) recordDecision(oldTO, newTO, rate float64, first bool) {
+	reg := obs.Or(c.Metrics)
+	reg.Counter("mdsprint_online_retunes_total", "model-driven timeout re-selections").Inc()
+	if !first {
+		reg.Gauge("mdsprint_online_prev_timeout_seconds", "timeout in force before the last re-selection").Set(oldTO)
+	}
+	reg.Gauge("mdsprint_online_timeout_seconds", "timeout selected by the last re-selection").Set(newTO)
+	reg.Gauge("mdsprint_online_estimated_rate_qps", "arrival-rate estimate that drove the last re-selection").Set(rate)
 }
 
 // Timeout returns the controller's current timeout for the estimated
@@ -149,25 +166,38 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 	if iter == 0 {
 		iter = 60
 	}
+	// A prediction failure inside the annealing closure is remembered
+	// and surfaced as an error, never a panic (the closure's signature
+	// has no error channel, so failures poison the point with +Inf).
+	var predErr error
 	res, err := explore.MinimizeTimeout(func(to float64) float64 {
 		cond := c.Base
 		cond.Timeout = to
-		pred, err := c.Model.Predict(c.Dataset, core.Scenario{
+		pred, perr := c.Model.Predict(c.Dataset, core.Scenario{
 			Cond:        cond,
 			ArrivalRate: estimatedRate,
 		})
-		if err != nil {
-			panic(err)
+		if perr != nil {
+			if predErr == nil {
+				predErr = perr
+			}
+			return math.Inf(1)
 		}
 		return pred.MeanRT
 	}, 0, maxTO, explore.Options{MaxIter: iter, Seed: c.Seed + uint64(c.retunes)})
+	if predErr != nil {
+		return 0, fmt.Errorf("online: model prediction during retune: %w", predErr)
+	}
 	if err != nil {
 		return 0, err
 	}
+	oldTO := c.currentTO
+	first := !c.haveDecision
 	c.tunedRate = estimatedRate
 	c.currentTO = res.Point[0]
 	c.haveDecision = true
 	c.retunes++
+	c.recordDecision(oldTO, c.currentTO, estimatedRate, first)
 	return c.currentTO, nil
 }
 

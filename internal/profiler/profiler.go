@@ -22,6 +22,7 @@ import (
 
 	"mdsprint/internal/dist"
 	"mdsprint/internal/mech"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/sprint"
 	"mdsprint/internal/stats"
 	"mdsprint/internal/testbed"
@@ -122,6 +123,33 @@ type Profiler struct {
 	Seed uint64
 	// Workers bounds profiling concurrency (default NumCPU).
 	Workers int
+	// Metrics receives progress instrumentation (conditions planned and
+	// profiled, per-condition simulated seconds, measured rates); nil
+	// records into obs.Default() so sprintctl's -debug-addr sees live
+	// progress without extra plumbing.
+	Metrics *obs.Registry
+}
+
+// progressMetrics resolves the profiler's instrumentation handles.
+type progressMetrics struct {
+	planned     *obs.Gauge
+	done        *obs.Counter
+	runs        *obs.Counter
+	condSeconds *obs.Histogram
+	serviceRate *obs.Gauge
+	marginal    *obs.Gauge
+}
+
+func (p *Profiler) metrics() progressMetrics {
+	reg := obs.Or(p.Metrics)
+	return progressMetrics{
+		planned:     reg.Gauge("mdsprint_profiler_conditions_planned", "conditions in the current profiling grid"),
+		done:        reg.Counter("mdsprint_profiler_conditions_total", "conditions profiled"),
+		runs:        reg.Counter("mdsprint_profiler_runs_total", "testbed replays executed"),
+		condSeconds: reg.Histogram("mdsprint_profiler_condition_sim_seconds", "simulated seconds per profiled condition", 0),
+		serviceRate: reg.Gauge("mdsprint_profiler_service_rate_qps", "measured service rate mu of the last profile"),
+		marginal:    reg.Gauge("mdsprint_profiler_marginal_rate_qps", "measured marginal sprint rate mu_m of the last profile"),
+	}
 }
 
 func (p *Profiler) defaults() Profiler {
@@ -208,6 +236,7 @@ func (p *Profiler) RunCondition(cond Condition, seed uint64) (Observation, float
 	sprinted := 0
 	total := 0
 	dur := 0.0
+	m := p.metrics()
 	for rep := 0; rep < pp.Replications; rep++ {
 		res := testbed.MustRun(testbed.Config{
 			Mix:         pp.Mix,
@@ -219,6 +248,7 @@ func (p *Profiler) RunCondition(cond Condition, seed uint64) (Observation, float
 			Warmup:      pp.Warmup,
 			Seed:        seed + uint64(rep)*0x9e3779b9,
 		})
+		m.runs.Inc()
 		rts = append(rts, res.ResponseTimes()...)
 		sprinted += res.SprintedCount
 		total += len(res.Queries)
@@ -240,8 +270,12 @@ func (p *Profiler) RunCondition(cond Condition, seed uint64) (Observation, float
 // worker count.
 func (p *Profiler) Profile(conds []Condition) *Dataset {
 	pp := p.defaults()
+	m := pp.metrics()
+	m.planned.Set(float64(len(conds)))
 	mu, samples, d1 := pp.MeasureServiceRate()
 	mum, d2 := pp.MeasureMarginalRate()
+	m.serviceRate.Set(mu)
+	m.marginal.Set(mum)
 	ds := &Dataset{
 		MixName:          pp.Mix.Name,
 		MechName:         pp.Mechanism.Name(),
@@ -263,6 +297,8 @@ func (p *Profiler) Profile(conds []Condition) *Dataset {
 			obs, dur := pp.RunCondition(cond, pp.Seed+uint64(i)*0x632be59bd9b4e019)
 			ds.Observations[i] = obs
 			durations[i] = dur
+			m.done.Inc()
+			m.condSeconds.Observe(dur)
 		}(i, cond)
 	}
 	wg.Wait()

@@ -3,8 +3,10 @@ package queuesim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/sim"
 	"mdsprint/internal/sprint"
 	"mdsprint/internal/stats"
@@ -45,6 +47,9 @@ type MultiParams struct {
 	NumQueries    int
 	Warmup        int
 	Seed          uint64
+	// Tracer receives per-query lifecycle events, tagged with the
+	// query's class name. Nil disables tracing (see Params.Tracer).
+	Tracer obs.QueryTracer
 }
 
 func (p MultiParams) validate() error {
@@ -117,6 +122,7 @@ func RunMulti(p MultiParams) (*MultiResult, error) {
 		rng:  dist.NewRNG(p.Seed),
 		arr:  arr,
 		acct: sprint.NewAccountant(p.BudgetSeconds, refill),
+		tr:   p.Tracer,
 		free: p.Slots,
 		res:  MultiResult{ByClass: map[string][]float64{}},
 	}
@@ -136,7 +142,9 @@ func RunMulti(p MultiParams) (*MultiResult, error) {
 	if total > 0 {
 		s.eng.Schedule(arr.Sample(s.rng), s.arrive)
 	}
-	s.eng.RunAll()
+	start := time.Now()
+	fired := s.eng.RunAll()
+	flushMetrics(total, fired, s.engages, s.exhaustions, time.Since(start).Seconds())
 	return &s.res, nil
 }
 
@@ -147,14 +155,26 @@ type mcState struct {
 	arr      dist.Dist
 	acct     *sprint.Accountant
 	speedups []float64
+	tr       obs.QueryTracer
 
 	queue    []*mcQuery
 	running  []*mcQuery
 	free     int
 	budgetEv *sim.Event
 
-	arrived int
-	res     MultiResult
+	arrived     int
+	engages     int
+	exhaustions int
+	exhausted   bool
+	res         MultiResult
+}
+
+// emit traces one event tagged with q's class; callers guard on s.tr.
+func (s *mcState) emit(typ obs.EventType, now float64, q *mcQuery, value float64) {
+	s.tr.Event(obs.QueryEvent{
+		Type: typ, Time: now, Query: q.id,
+		Class: s.p.Classes[q.class].Name, Value: value,
+	})
 }
 
 // pickClass draws a class index by weight.
@@ -181,9 +201,13 @@ func (s *mcState) arrive() {
 	s.arrived++
 	ci := s.pickClass()
 	q := &mcQuery{class: ci}
+	q.id = id
 	q.arrival = now
 	q.service = s.p.Classes[ci].Service.Sample(s.rng)
 	q.warm = id < s.p.Warmup
+	if s.tr != nil {
+		s.emit(obs.EvArrival, now, q, q.service)
+	}
 	s.queue = append(s.queue, q)
 	if s.classSprints(ci) {
 		q.timeoutEv = s.eng.Schedule(now+s.p.Classes[ci].Timeout, func() { s.onTimeout(q) })
@@ -205,6 +229,9 @@ func (s *mcState) dispatch() {
 		q.seg = now
 		q.tau = 0
 		s.running = append(s.running, q)
+		if s.tr != nil {
+			s.emit(obs.EvServiceStart, now, q, now-q.arrival)
+		}
 		if q.pending && s.acct.CanSprint(now) {
 			s.engage(q)
 		} else {
@@ -224,6 +251,9 @@ func (s *mcState) progress(q *mcQuery, now float64) float64 {
 
 func (s *mcState) onTimeout(q *mcQuery) {
 	now := s.eng.Now()
+	if s.tr != nil {
+		s.emit(obs.EvTimeout, now, q, s.p.Classes[q.class].Timeout)
+	}
 	if !q.running {
 		q.pending = true
 		return
@@ -237,6 +267,15 @@ func (s *mcState) onTimeout(q *mcQuery) {
 
 func (s *mcState) engage(q *mcQuery) {
 	now := s.eng.Now()
+	s.engages++
+	if s.tr != nil {
+		level := s.acct.Level(now)
+		if s.exhausted {
+			s.emit(obs.EvRefill, now, q, level)
+		}
+		s.emit(obs.EvSprintStart, now, q, level)
+	}
+	s.exhausted = false
 	s.acct.StartSprint(now)
 	q.sprint = true
 	q.sprinted = true
@@ -265,6 +304,17 @@ func (s *mcState) replanBudget() {
 func (s *mcState) onBudgetEmpty() {
 	now := s.eng.Now()
 	s.budgetEv = nil
+	s.exhaustions++
+	s.exhausted = true
+	if s.tr != nil {
+		active := 0
+		for _, q := range s.running {
+			if q.sprint {
+				active++
+			}
+		}
+		s.tr.Event(obs.QueryEvent{Type: obs.EvBudgetExhausted, Time: now, Query: -1, Value: float64(active)})
+	}
 	for _, q := range s.running {
 		if !q.sprint {
 			continue
@@ -274,6 +324,9 @@ func (s *mcState) onBudgetEmpty() {
 		s.acct.StopSprint(now)
 		q.sprint = false
 		s.res.SprintSeconds += now - q.sprintStart
+		if s.tr != nil {
+			s.emit(obs.EvSprintStop, now, q, now-q.sprintStart)
+		}
 		remaining := (1 - q.tau) * q.service
 		q.departEv = s.eng.Reschedule(q.departEv, now+remaining)
 	}
@@ -287,7 +340,13 @@ func (s *mcState) depart(q *mcQuery) {
 		s.acct.StopSprint(now)
 		q.sprint = false
 		s.res.SprintSeconds += now - q.sprintStart
+		if s.tr != nil {
+			s.emit(obs.EvSprintStop, now, q, now-q.sprintStart)
+		}
 		s.replanBudget()
+	}
+	if s.tr != nil {
+		s.emit(obs.EvDeparture, now, q, now-q.arrival)
 	}
 	if q.timeoutEv != nil {
 		s.eng.Cancel(q.timeoutEv)

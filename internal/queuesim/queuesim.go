@@ -25,8 +25,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/sim"
 	"mdsprint/internal/sprint"
 	"mdsprint/internal/stats"
@@ -67,6 +69,13 @@ type Params struct {
 	NumQueries int
 	Warmup     int
 	Seed       uint64
+	// Tracer, when non-nil, receives per-query lifecycle events
+	// (arrival, service start, sprint start/stop, timeout, budget
+	// exhaustion, refill, departure). A nil tracer skips every hook;
+	// see BenchmarkSimulateOne for the enforced disabled-overhead
+	// budget. A tracer shared across Predict replications must be safe
+	// for concurrent use (obs.RingTracer is).
+	Tracer obs.QueryTracer
 }
 
 func (p Params) withDefaults() Params {
@@ -165,6 +174,7 @@ func (r *Result) MeanRT() float64 { return stats.Mean(r.RTs) }
 
 // query is Algorithm 1's query object.
 type query struct {
+	id          int
 	arrival     float64
 	service     float64
 	start       float64
@@ -189,6 +199,7 @@ type state struct {
 	arr     dist.Dist
 	acct    *sprint.Accountant
 	speedup float64
+	tr      obs.QueryTracer // nil when tracing is off
 
 	queue    []*query
 	running  []*query
@@ -196,7 +207,44 @@ type state struct {
 	budgetEv *sim.Event
 
 	arrived int
-	res     Result
+	// engages and exhaustions feed the end-of-run metric flush;
+	// exhausted marks that the budget has drained since the last
+	// engagement, so the next engagement can emit a refill event.
+	engages     int
+	exhaustions int
+	exhausted   bool
+	res         Result
+}
+
+// simMetrics are the queue simulator's process-wide metrics in the
+// default registry. Simulators accumulate locally and flush once per run,
+// keeping the event loop free of shared-memory traffic.
+var simMetrics = struct {
+	runs, queries, events *obs.Counter
+	sprints, exhaustions  *obs.Counter
+	eventsPerSec          *obs.Gauge
+	runSeconds            *obs.Histogram
+}{
+	runs:         obs.Default().Counter("mdsprint_sim_runs_total", "completed queue-simulator runs"),
+	queries:      obs.Default().Counter("mdsprint_sim_queries_total", "queries simulated (including warmup)"),
+	events:       obs.Default().Counter("mdsprint_sim_events_total", "discrete events fired by the simulator engine"),
+	sprints:      obs.Default().Counter("mdsprint_sim_sprints_total", "sprints engaged"),
+	exhaustions:  obs.Default().Counter("mdsprint_sim_budget_exhaustions_total", "budget-exhaustion episodes"),
+	eventsPerSec: obs.Default().Gauge("mdsprint_sim_events_per_second", "engine event rate of the most recent run"),
+	runSeconds:   obs.Default().Histogram("mdsprint_sim_run_seconds", "wall-clock seconds per simulator run", 0),
+}
+
+// flushMetrics records one finished run's totals.
+func flushMetrics(queries, fired, engages, exhaustions int, elapsed float64) {
+	simMetrics.runs.Inc()
+	simMetrics.queries.Add(float64(queries))
+	simMetrics.events.Add(float64(fired))
+	simMetrics.sprints.Add(float64(engages))
+	simMetrics.exhaustions.Add(float64(exhaustions))
+	simMetrics.runSeconds.Observe(elapsed)
+	if elapsed > 0 {
+		simMetrics.eventsPerSec.Set(float64(fired) / elapsed)
+	}
 }
 
 // Run simulates the configured queue and returns measured response times.
@@ -225,6 +273,7 @@ func Run(p Params) (*Result, error) {
 		arr:     arr,
 		acct:    sprint.NewAccountant(p.BudgetSeconds, refillRate(p), acctOpts...),
 		speedup: p.speedup(),
+		tr:      p.Tracer,
 		free:    p.Slots,
 	}
 	total := p.NumQueries + p.Warmup
@@ -234,7 +283,9 @@ func Run(p Params) (*Result, error) {
 	s.res.RTs = make([]float64, 0, p.NumQueries)
 	s.res.QueueingTimes = make([]float64, 0, p.NumQueries)
 	s.eng.Schedule(s.arr.Sample(s.rng), s.arrive)
-	s.eng.RunAll()
+	start := time.Now()
+	fired := s.eng.RunAll()
+	flushMetrics(total, fired, s.engages, s.exhaustions, time.Since(start).Seconds())
 	return &s.res, nil
 }
 
@@ -259,9 +310,13 @@ func (s *state) arrive() {
 	id := s.arrived
 	s.arrived++
 	q := &query{
+		id:      id,
 		arrival: now,
 		service: s.p.Service.Sample(s.rng),
 		warm:    id < s.p.Warmup,
+	}
+	if s.tr != nil {
+		s.tr.Event(obs.QueryEvent{Type: obs.EvArrival, Time: now, Query: q.id, Value: q.service})
 	}
 	s.queue = append(s.queue, q)
 	if s.p.sprintingEnabled() {
@@ -284,6 +339,9 @@ func (s *state) dispatch() {
 		q.seg = now
 		q.tau = 0
 		s.running = append(s.running, q)
+		if s.tr != nil {
+			s.tr.Event(obs.QueryEvent{Type: obs.EvServiceStart, Time: now, Query: q.id, Value: now - q.arrival})
+		}
 		if q.pending && s.acct.CanSprint(now) {
 			s.engage(q)
 		} else {
@@ -304,6 +362,9 @@ func (s *state) progress(q *query, now float64) float64 {
 
 func (s *state) onTimeout(q *query) {
 	now := s.eng.Now()
+	if s.tr != nil {
+		s.tr.Event(obs.QueryEvent{Type: obs.EvTimeout, Time: now, Query: q.id, Value: s.p.Timeout})
+	}
 	if !q.running {
 		q.pending = true
 		return
@@ -318,6 +379,15 @@ func (s *state) onTimeout(q *query) {
 // engage applies Equation 1: the remaining execution shrinks by mu/mu_e.
 func (s *state) engage(q *query) {
 	now := s.eng.Now()
+	s.engages++
+	if s.tr != nil {
+		level := s.acct.Level(now)
+		if s.exhausted {
+			s.tr.Event(obs.QueryEvent{Type: obs.EvRefill, Time: now, Query: q.id, Value: level})
+		}
+		s.tr.Event(obs.QueryEvent{Type: obs.EvSprintStart, Time: now, Query: q.id, Value: level})
+	}
+	s.exhausted = false
 	s.acct.StartSprint(now)
 	q.sprint = true
 	q.sprinted = true
@@ -346,6 +416,17 @@ func (s *state) replanBudget() {
 func (s *state) onBudgetEmpty() {
 	now := s.eng.Now()
 	s.budgetEv = nil
+	s.exhaustions++
+	s.exhausted = true
+	if s.tr != nil {
+		active := 0
+		for _, q := range s.running {
+			if q.sprint {
+				active++
+			}
+		}
+		s.tr.Event(obs.QueryEvent{Type: obs.EvBudgetExhausted, Time: now, Query: -1, Value: float64(active)})
+	}
 	for _, q := range s.running {
 		if !q.sprint {
 			continue
@@ -355,6 +436,9 @@ func (s *state) onBudgetEmpty() {
 		s.acct.StopSprint(now)
 		q.sprint = false
 		s.res.SprintSeconds += now - q.sprintStart
+		if s.tr != nil {
+			s.tr.Event(obs.QueryEvent{Type: obs.EvSprintStop, Time: now, Query: q.id, Value: now - q.sprintStart})
+		}
 		remaining := (1 - q.tau) * q.service
 		q.departEv = s.eng.Reschedule(q.departEv, now+remaining)
 	}
@@ -368,7 +452,13 @@ func (s *state) depart(q *query) {
 		s.acct.StopSprint(now)
 		q.sprint = false
 		s.res.SprintSeconds += now - q.sprintStart
+		if s.tr != nil {
+			s.tr.Event(obs.QueryEvent{Type: obs.EvSprintStop, Time: now, Query: q.id, Value: now - q.sprintStart})
+		}
 		s.replanBudget()
+	}
+	if s.tr != nil {
+		s.tr.Event(obs.QueryEvent{Type: obs.EvDeparture, Time: now, Query: q.id, Value: now - q.arrival})
 	}
 	if q.timeoutEv != nil {
 		s.eng.Cancel(q.timeoutEv)

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mdsprint/internal/obs"
+)
+
+// This file exports simulator lifecycle traces (obs.QueryEvent) as JSON
+// Lines — one event per line, streamable and greppable, the format
+// downstream per-query performance-prediction work consumes.
+
+// SaveEvents writes events to path as JSONL (creating directories).
+func SaveEvents(path string, events []obs.QueryEvent) error {
+	w, err := CreateEventLog(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		w.Event(e)
+	}
+	return w.Close()
+}
+
+// LoadEvents reads a JSONL event log written by SaveEvents or EventWriter.
+func LoadEvents(path string) ([]obs.QueryEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var events []obs.QueryEvent
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var e obs.QueryEvent
+		if err := dec.Decode(&e); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: parse %s: %w", path, err)
+		}
+		events = append(events, e)
+	}
+}
+
+// EventWriter is a streaming JSONL sink implementing obs.QueryTracer: each
+// Event appends one line. It is safe for concurrent use (parallel
+// simulator replications may share it); lines are written atomically but
+// their interleaving follows goroutine scheduling.
+type EventWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closer io.Closer // underlying file, when file-backed
+	err    error     // first write error, surfaced by Close
+}
+
+// NewEventWriter streams events to w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{bw: bufio.NewWriter(w)}
+}
+
+// CreateEventLog creates (or truncates) a JSONL event log at path.
+func CreateEventLog(path string) (*EventWriter, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	w := NewEventWriter(f)
+	w.closer = f
+	return w, nil
+}
+
+// Event appends e as one JSON line.
+func (w *EventWriter) Event(e obs.QueryEvent) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err == nil {
+		_, err = w.bw.Write(append(data, '\n'))
+	}
+	if err != nil {
+		w.err = err
+	}
+}
+
+// Flush drains the write buffer.
+func (w *EventWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return fmt.Errorf("trace: %w", w.err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file (when file-backed),
+// returning the first error encountered over the writer's lifetime.
+func (w *EventWriter) Close() error {
+	flushErr := w.Flush()
+	if w.closer != nil {
+		if err := w.closer.Close(); err != nil && flushErr == nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return flushErr
+}
