@@ -1,10 +1,10 @@
 GO ?= go
 
-# tier1 is the merge gate: vet + build + race-enabled tests + the
-# disabled-hook overhead check (BenchmarkSimulateOne vs
+# tier1 is the merge gate: vet + project lint + build + race-enabled
+# tests + the disabled-hook overhead check (BenchmarkSimulateOne vs
 # BenchmarkSimulateOneTraced; baseline recorded in BENCH_obs.json).
 .PHONY: tier1
-tier1: vet build race bench-obs
+tier1: vet lint build race bench-obs
 
 .PHONY: build
 build:
@@ -14,13 +14,35 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs sprintlint, the project-specific analyzers (determinism,
+# float equality, error hygiene, lock copies, exported docs). Exit 1
+# means diagnostics; fix them or add a reasoned //lint:ignore.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/sprintlint
+
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 .PHONY: test
 test:
 	$(GO) test ./...
 
+# The experiments suite runs ~2 minutes without the race detector; the
+# detector's 5-10x slowdown overruns go test's default 10m binary
+# timeout, so raise it explicitly.
 .PHONY: race
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
+
+# fuzz-smoke gives each fuzz target a short randomised shake — enough to
+# catch parser and round-trip panics without holding up the gate.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDist$$' -fuzztime 10s ./internal/dist
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadEvents$$' -fuzztime 10s ./internal/trace
 
 .PHONY: bench-obs
 bench-obs:

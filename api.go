@@ -71,9 +71,11 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // capacity events (a safe default when capacity <= 0).
 func NewRingTracer(capacity int) *obs.RingTracer { return obs.NewRingTracer(capacity) }
 
-// SaveEvents and LoadEvents persist simulator lifecycle traces as JSONL.
+// SaveEvents persists simulator lifecycle traces as JSONL.
 func SaveEvents(path string, events []QueryEvent) error { return trace.SaveEvents(path, events) }
-func LoadEvents(path string) ([]QueryEvent, error)      { return trace.LoadEvents(path) }
+
+// LoadEvents reads back a JSONL trace written by SaveEvents.
+func LoadEvents(path string) ([]QueryEvent, error) { return trace.LoadEvents(path) }
 
 // Arrival distribution families for Condition.ArrivalKind.
 const (
@@ -81,6 +83,14 @@ const (
 	ArrivalPareto        = dist.KindPareto
 	ArrivalDeterministic = dist.KindDeterministic
 )
+
+// Dist is a one-dimensional distribution over non-negative values.
+type Dist = dist.Dist
+
+// ParseDist parses a distribution spec such as "exp(2)", "uniform(1,3)"
+// or "lognormal(4,0.5)"; see internal/dist.ParseDist for the grammar. It
+// validates every argument and never panics on malformed input.
+func ParseDist(spec string) (Dist, error) { return dist.ParseDist(spec) }
 
 // Workloads returns the Table 1(C) catalog.
 func Workloads() []*WorkloadClass { return workload.Catalog() }
@@ -235,11 +245,15 @@ func BestTimeout(m Model, ds *Dataset, base Condition, maxTimeout float64, iters
 	return res.Point[0], res.RT, nil
 }
 
-// SaveDataset and LoadDataset persist profiled datasets as JSON.
+// SaveDataset persists a profiled dataset as JSON.
 func SaveDataset(path string, ds *Dataset) error { return trace.SaveDataset(path, ds) }
-func LoadDataset(path string) (*Dataset, error)  { return trace.LoadDataset(path) }
 
-// QPH and ToQPH convert between queries/hour (the paper's unit) and this
-// library's queries/second.
-func QPH(qph float64) float64   { return sprint.QPH(qph) }
+// LoadDataset reads back a dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) { return trace.LoadDataset(path) }
+
+// QPH converts queries/hour (the paper's unit) to this library's
+// queries/second.
+func QPH(qph float64) float64 { return sprint.QPH(qph) }
+
+// ToQPH converts queries/second back to queries/hour.
 func ToQPH(qps float64) float64 { return sprint.ToQPH(qps) }

@@ -74,7 +74,9 @@ func run(args []string) int {
 	verbose := globals.Bool("v", false, "verbose progress output")
 	showVersion := globals.Bool("version", false, "print version and exit")
 	globals.Usage = usage
-	globals.Parse(args)
+	if err := globals.Parse(args); err != nil {
+		return 2
+	}
 
 	if *showVersion {
 		fmt.Println(versionString())
@@ -196,7 +198,9 @@ func cmdProfile(args []string) error {
 	queries := fs.Int("queries", 1500, "queries per profiling run")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "dataset.json", "output dataset path")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	mix, err := resolveMix(*workloadName)
 	if err != nil {
@@ -260,7 +264,9 @@ func cmdPredict(args []string) error {
 	refill := fs.Float64("refill", 200, "budget refill window in seconds")
 	modelName := fs.String("model", "hybrid", "model: hybrid or noml")
 	seed := fs.Uint64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ds, err := trace.LoadDataset(*dsPath)
 	if err != nil {
@@ -308,7 +314,9 @@ func cmdExplore(args []string) error {
 	maxTimeout := fs.Float64("max-timeout", 300, "largest timeout to consider")
 	iters := fs.Int("iters", 200, "annealing iterations")
 	seed := fs.Uint64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ds, err := trace.LoadDataset(*dsPath)
 	if err != nil {
@@ -344,7 +352,9 @@ func cmdColocate(args []string) error {
 	comboIdx := fs.Int("combo", 1, "Figure 13 combo: 1, 2 or 3")
 	simQueries := fs.Int("queries", 4000, "simulated queries per SLO check")
 	seed := fs.Uint64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	combos := experiments.Combos()
 	if *comboIdx < 1 || *comboIdx > len(combos) {

@@ -1,0 +1,86 @@
+// Command sprintlint runs this repository's project-specific static
+// analyzers over every package in the module and reports file:line
+// diagnostics. It is part of the tier-1 merge gate (make lint).
+//
+//	sprintlint             lint the module containing the working directory
+//	sprintlint -C dir      lint the module containing dir
+//	sprintlint -json       machine-readable diagnostics (for CI annotation)
+//	sprintlint -only a,b   run only the named analyzers
+//	sprintlint -list       describe the analyzer suite and exit
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+//
+// Diagnostics are suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mdsprint/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// run is main factored for tests: it parses flags, lints, prints and
+// returns the exit code.
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("sprintlint", flag.ContinueOnError)
+	dir := fs.String("C", ".", "lint the module containing this directory")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	diags, err := lint.Run(*dir, lint.DefaultConfig(), names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sprintlint: %v\n", err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "sprintlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "sprintlint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -40,7 +40,7 @@ func (c Config) withDefaults() Config {
 	if c.Width == 0 {
 		c.Width = 100
 	}
-	if c.LearningRate == 0 {
+	if c.LearningRate <= 0 {
 		c.LearningRate = 1e-3
 	}
 	if c.Epochs == 0 {

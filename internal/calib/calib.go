@@ -78,13 +78,13 @@ func (o Options) withDefaults() Options {
 	if o.Replications == 0 {
 		o.Replications = 2
 	}
-	if o.Tolerance == 0 {
+	if o.Tolerance <= 0 {
 		o.Tolerance = 0.01
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 40
 	}
-	if o.StepQPH == 0 {
+	if o.StepQPH <= 0 {
 		o.StepQPH = 1
 	}
 	if o.Workers == 0 {

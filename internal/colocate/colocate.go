@@ -227,8 +227,11 @@ func candidates(w Workload, refills []float64) []Plan {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ci, cj := out[i].CPUCommitment(), out[j].CPUCommitment()
-		if ci != cj {
-			return ci < cj
+		if ci < cj {
+			return true
+		}
+		if ci > cj {
+			return false
 		}
 		// Same commitment: prefer the larger budget capacity (longer
 		// window), which can only help the SLO.
@@ -242,7 +245,7 @@ func candidates(w Workload, refills []float64) []Plan {
 // the cheapest (fraction, budget) combination that meets the SLO within
 // AWS's hourly budget window. Timeout stays 0 — every query sprints.
 func BudgetPlanner(est RTEstimator, refill float64) Planner {
-	if refill == 0 {
+	if refill <= 0 {
 		refill = AWSRefill
 	}
 	return func(w Workload) (Plan, bool) {

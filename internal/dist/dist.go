@@ -105,7 +105,12 @@ func (d TruncatedPareto) Mean() float64 {
 		return d.Max
 	}
 	ratio := d.Xm / d.Max
-	if d.Alpha == 1 {
+	// Near alpha=1 the closed form below cancels catastrophically; the
+	// log-form limit is both the exact alpha=1 value and the stable
+	// approximation in its neighbourhood. (Epsilon math rather than
+	// stats.ApproxEqual: stats's internal tests import dist, so dist
+	// cannot import stats without a test import cycle.)
+	if math.Abs(d.Alpha-1) <= 1e-9 {
 		// E[min(X, M)] = xm (1 + ln(M/xm)).
 		return d.Xm * (1 + math.Log(d.Max/d.Xm))
 	}
@@ -167,7 +172,7 @@ func LogNormalFromMeanCV(mean, cv float64) LogNormal {
 	if mean <= 0 || cv < 0 {
 		panic("dist: LogNormalFromMeanCV requires mean>0, cv>=0")
 	}
-	if cv == 0 {
+	if cv <= 1e-9 {
 		cv = 1e-9
 	}
 	sigma2 := math.Log(1 + cv*cv)

@@ -91,12 +91,13 @@ func clusterInOut(lab *Lab) (in, out []float64, err error) {
 	ds := lab.Dataset(mix, mech.DVFS{})
 
 	removed := func(c profiler.Condition) bool {
-		if c.Utilization == 0.75 {
+		if stats.ApproxEqual(c.Utilization, 0.75, 1e-9) {
 			return true
 		}
-		switch c.Timeout {
-		case 60, 70, 120:
-			return true
+		for _, to := range []float64{60, 70, 120} {
+			if stats.ApproxEqual(c.Timeout, to, 1e-9) {
+				return true
+			}
 		}
 		return false
 	}

@@ -136,7 +136,7 @@ func DataScaling(lab *Lab) (DataScalingResult, error) {
 			}
 		}
 		res.Rows = append(res.Rows, DataScalingRow{TrainObservations: size, ANNMedianError: med})
-		if res.RequiredMultiple == 0 && med <= res.HybridMedianError*1.1 {
+		if res.RequiredMultiple <= 0 && med <= res.HybridMedianError*1.1 {
 			res.RequiredMultiple = float64(size) / float64(len(train))
 		}
 		if size == len(pool) {

@@ -61,10 +61,10 @@ func (o Options) withDefaults() Options {
 	if o.MaxIter == 0 {
 		o.MaxIter = 300
 	}
-	if o.InitialZ == 0 {
+	if o.InitialZ <= 0 {
 		o.InitialZ = 1
 	}
-	if o.ZDecayPer100 == 0 {
+	if o.ZDecayPer100 <= 0 {
 		o.ZDecayPer100 = 0.9
 	}
 	return o

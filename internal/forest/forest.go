@@ -61,7 +61,7 @@ func (c Config) withDefaults() Config {
 	if c.MinLeaf == 0 {
 		c.MinLeaf = 3
 	}
-	if c.FeatureFrac == 0 {
+	if c.FeatureFrac <= 0 {
 		c.FeatureFrac = 0.7
 	}
 	return c
@@ -220,10 +220,10 @@ func bestSplit(samples []*Sample, fi, minLeaf int, parentVar float64) (thr, gain
 		prefixSq[i+1] = prefixSq[i] + s.Y*s.Y
 	}
 	sideVar := func(lo, hi int) float64 { // variance of sorted[lo:hi]
-		cnt := float64(hi - lo)
-		if cnt == 0 {
+		if hi == lo {
 			return 0
 		}
+		cnt := float64(hi - lo)
 		sum := prefix[hi] - prefix[lo]
 		sq := prefixSq[hi] - prefixSq[lo]
 		return sq/cnt - (sum/cnt)*(sum/cnt)
@@ -231,6 +231,7 @@ func bestSplit(samples []*Sample, fi, minLeaf int, parentVar float64) (thr, gain
 	bestGain := 0.0
 	bestThr := 0.0
 	for i := minLeaf; i <= n-minLeaf; i++ {
+		//lint:ignore floateq sorted-neighbour dedup: only bitwise-identical values share a bin, so exact equality is the boundary test
 		if sorted[i-1].Features[fi] == sorted[i].Features[fi] {
 			continue // not a boundary between distinct values
 		}

@@ -65,7 +65,11 @@ func Run(cfg GeneratorConfig) ([]QueryResponse, error) {
 			if d := time.Until(start.Add(p.at)); d > 0 {
 				time.Sleep(d)
 			}
-			body, _ := json.Marshal(QueryRequest{ServiceSeconds: p.service})
+			body, err := json.Marshal(QueryRequest{ServiceSeconds: p.service})
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			resp, err := client.Post(cfg.URL+"/query", "application/json", bytes.NewReader(body))
 			if err != nil {
 				errs[i] = err

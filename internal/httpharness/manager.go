@@ -166,6 +166,7 @@ func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := <-q.done
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop best-effort response write; the client has gone if this fails
 	json.NewEncoder(w).Encode(resp)
 }
 
@@ -181,6 +182,7 @@ func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop best-effort response write; the client has gone if this fails
 	json.NewEncoder(w).Encode(s)
 }
 
@@ -321,15 +323,18 @@ func (m *Manager) depart(q *query) {
 	}
 	m.free++
 	m.dispatchLocked()
-	m.mu.Unlock()
-
-	q.done <- QueryResponse{
+	// Snapshot the response while still holding m.mu: a late timeout
+	// timer may write q.timedOut under the lock after we release it.
+	resp := QueryResponse{
 		Arrival:  q.arrival.Sub(m.epoch).Seconds(),
 		Start:    q.start.Sub(m.epoch).Seconds(),
 		Depart:   departAt.Sub(m.epoch).Seconds(),
 		Sprinted: q.sprinted,
 		TimedOut: q.timedOut,
 	}
+	m.mu.Unlock()
+
+	q.done <- resp
 }
 
 // Close stops all timers; in-flight handlers receive no response and the

@@ -1,0 +1,51 @@
+package lint
+
+// Config is the project policy the analyzers enforce. Paths are
+// module-relative ("." names the root package) so the same config works
+// for the real module and for test fixtures.
+type Config struct {
+	// DeterministicPackages must be reproducible functions of their
+	// inputs: nondeterm forbids wall-clock reads, global math/rand use
+	// and map iteration inside them.
+	DeterministicPackages []string
+	// FloatEqAllow lists functions (as "relpkg.Func" or
+	// "relpkg.Type.Method") whose bodies may compare floats exactly —
+	// the epsilon helpers themselves.
+	FloatEqAllow []string
+	// ErrDropAllow lists callees whose error results may be discarded,
+	// matched against the callee's full name with an optional trailing
+	// '*' glob (e.g. "fmt.Fprint*", "(*strings.Builder).Write*").
+	ErrDropAllow []string
+	// DocPackages lists packages whose exported identifiers must carry
+	// doc comments.
+	DocPackages []string
+}
+
+// DefaultConfig returns the policy for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		// The model-side packages the paper's calibration and annealing
+		// replay: identical inputs must yield identical outputs.
+		DeterministicPackages: []string{
+			"internal/queuesim",
+			"internal/sim",
+			"internal/forest",
+			"internal/dist",
+			"internal/calib",
+		},
+		FloatEqAllow: []string{
+			"internal/stats.ApproxEqual",
+			"internal/stats.ApproxZero",
+		},
+		ErrDropAllow: []string{
+			// Console writes: a failed stdout/stderr print has no
+			// recovery path in a CLI.
+			"fmt.Print*",
+			"fmt.Fprint*",
+			// In-memory writers never fail.
+			"(*strings.Builder).Write*",
+			"(*bytes.Buffer).Write*",
+		},
+		DocPackages: []string{"."},
+	}
+}

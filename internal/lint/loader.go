@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule locates the Go module containing dir, parses every non-test
+// package in it, type-checks them in dependency order, and returns the
+// packages sorted by import path. Test files (_test.go) are excluded:
+// tests legitimately compare floats exactly and read the clock, and the
+// merge gate runs them separately.
+func LoadModule(dir string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		parsed:  map[string]*rawPkg{},
+		checked: map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	// Stdlib imports resolve through the compiler's export data; fall
+	// back to type-checking the standard library from source when export
+	// data is unavailable in this toolchain.
+	ld.std = importer.ForCompiler(ld.fset, "gc", nil)
+	ld.stdFallback = importer.ForCompiler(ld.fset, "source", nil)
+
+	if err := ld.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(ld.parsed))
+	for p := range ld.parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", fmt.Errorf("lint: %w", err)
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s has no module directive", filepath.Join(d, "go.mod"))
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found at or above %s", abs)
+		}
+	}
+}
+
+// rawPkg is a parsed-but-not-yet-type-checked package.
+type rawPkg struct {
+	dir   string
+	rel   string
+	files []*ast.File
+	names []string
+}
+
+type loader struct {
+	fset        *token.FileSet
+	root        string
+	modPath     string
+	std         types.Importer
+	stdFallback types.Importer
+	parsed      map[string]*rawPkg  // import path -> syntax
+	checked     map[string]*Package // import path -> result
+	loading     map[string]bool     // cycle detection
+}
+
+// discover walks the module tree and parses every package directory.
+// Hidden directories, testdata trees and nested modules are skipped.
+func (ld *loader) discover() error {
+	return filepath.WalkDir(ld.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.root {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		return ld.parseDir(path)
+	})
+}
+
+// parseDir parses the non-test Go files of one directory, if any.
+func (ld *loader) parseDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	rel = filepath.ToSlash(rel)
+	path := ld.modPath
+	if rel != "." {
+		path = ld.modPath + "/" + rel
+	}
+	ld.parsed[path] = &rawPkg{dir: dir, rel: rel, files: files, names: names}
+	return nil
+}
+
+// Import implements types.Importer: module-internal paths type-check
+// recursively; everything else goes to the standard-library importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	pkg, err := ld.std.Import(path)
+	if err != nil {
+		pkg, err = ld.stdFallback.Import(path)
+	}
+	return pkg, err
+}
+
+// check type-checks one module package (memoised).
+func (ld *loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	raw, ok := ld.parsed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: import %q: no such package in module", path)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	//lint:ignore errdrop type errors are collected through conf.Error and surfaced below; Check's error duplicates the first one
+	tpkg, _ := conf.Check(path, ld.fset, raw.files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	pkg := &Package{
+		Path:  path,
+		Rel:   raw.rel,
+		Dir:   raw.dir,
+		Root:  ld.root,
+		Fset:  ld.fset,
+		Files: raw.files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.checked[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy is a lightweight copylocks check: it flags by-value receivers,
+// parameters and results of types containing sync.Mutex or sync.RWMutex,
+// plus plain-assignment and range copies of such values. A copied mutex
+// is a fresh unlocked mutex — the copy silently stops guarding whatever
+// the original guarded (internal/obs's registry, histogram and tracer
+// types all embed locks). Unlike go vet's copylocks it does not chase
+// call arguments or returns through interfaces; it exists so the lock
+// discipline is enforced by the same gate as the other project rules.
+var LockCopy = &Analyzer{
+	Name: "lockcopy-lite",
+	Doc:  "forbid by-value copies of structs containing sync.Mutex/sync.RWMutex",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if isCopySource(rhs) && exprContainsLock(info, rhs) {
+						pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a sync mutex; use a pointer", typeName(info, rhs))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlank(n.Value) && exprContainsLock(info, n.Value) {
+					pass.Reportf(n.Value.Pos(), "range copies %s, which contains a sync mutex; iterate by index or store pointers", typeName(info, n.Value))
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if isCopySource(v) && exprContainsLock(info, v) {
+						pass.Reportf(v.Pos(), "declaration copies %s, which contains a sync mutex; use a pointer", typeName(info, v))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags by-value lock-containing entries of a receiver,
+// parameter or result list.
+func checkFieldList(pass *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if containsLock(tv.Type, nil) {
+			pass.Reportf(field.Type.Pos(), "by-value %s of type %s, which contains a sync mutex; use a pointer", kind, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+		}
+	}
+}
+
+// isCopySource reports whether expr reads an existing value (as opposed
+// to constructing a fresh one, which is initialisation, not a copy).
+func isCopySource(expr ast.Expr) bool {
+	switch unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// exprContainsLock reports whether expr's type holds a mutex by value.
+func exprContainsLock(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return containsLock(tv.Type, nil)
+}
+
+// containsLock walks t looking for sync.Mutex / sync.RWMutex held by
+// value. Pointers, slices, maps and channels stop the walk: they share
+// the lock rather than copy it.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+				return true
+			}
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Alias:
+		return containsLock(types.Unalias(t), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeName renders expr's type relative to nothing (fully qualified) for
+// diagnostics.
+func typeName(info *types.Info, expr ast.Expr) string {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return "value"
+	}
+	return types.TypeString(tv.Type, nil)
+}

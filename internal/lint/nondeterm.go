@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDeterm enforces simulator reproducibility inside the configured
+// deterministic packages: calibration (Section 2.3) and annealing
+// (Section 4) replay the simulator and assume identical inputs produce
+// identical outputs, so those packages must not read the wall clock, use
+// the global math/rand source, or iterate maps (whose order varies
+// run-to-run). Randomness flows through internal/dist's seeded RNG;
+// wall-clock reads go through an injectable clock (obs.Clock).
+var NonDeterm = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "forbid wall-clock reads, global math/rand and map iteration in deterministic packages",
+	Run:  runNonDeterm,
+}
+
+// wallClockFuncs are the time package's clock-reading entry points.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNonDeterm(pass *Pass) {
+	if !pkgMatchesAny(pass.Pkg, pass.Cfg.DeterministicPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, ok := selectorPackage(info, n)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "time" && wallClockFuncs[n.Sel.Name]:
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in deterministic package; inject an obs.Clock instead", n.Sel.Name)
+				case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+					pass.Reportf(n.Pos(), "%s.%s uses math/rand; all randomness must flow through internal/dist's seeded RNG", pkgPath, n.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map %s: iteration order is nondeterministic; sort the keys first", types.TypeString(tv.Type, nil))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// selectorPackage resolves sel's qualifier to an imported package path
+// when sel is a package-qualified reference (pkg.Name).
+func selectorPackage(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}

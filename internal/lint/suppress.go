@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppressions indexes a package's //lint:ignore comments. A suppression
+// covers the line it is written on and the line directly below it, so
+// both trailing and standalone placements work:
+//
+//	x := a == b //lint:ignore floateq exact sentinel comparison
+//
+//	//lint:ignore errdrop best-effort write to a dying client
+//	_ = w.Flush()
+type suppressions struct {
+	// byLine maps file -> line -> analyzer names suppressed there.
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectSuppressions scans every comment in the package.
+func collectSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				file := pkg.relFile(pos.Filename)
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					sup.malformed = append(sup.malformed, Diagnostic{
+						Analyzer: "lint",
+						File:     file,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"",
+					})
+					continue
+				}
+				lines := sup.byLine[file]
+				if lines == nil {
+					lines = map[int][]string{}
+					sup.byLine[file] = lines
+				}
+				for _, name := range strings.Split(names, ",") {
+					lines[pos.Line] = append(lines[pos.Line], name)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// covers reports whether d is suppressed by an ignore comment on its own
+// line or on the line above.
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines, ok := s.byLine[d.File]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package badsuppress has a reason-less suppression: the suppression is
+// reported as malformed and the violation underneath still surfaces.
+package badsuppress
+
+//lint:ignore floateq
+func same(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,44 @@
+// Package clean follows every sprintlint rule: epsilon float
+// comparisons, handled errors, pointer-passed locks, documented exports.
+package clean
+
+import (
+	"errors"
+	"sync"
+)
+
+// Rate is a documented exported constant.
+const Rate = 2.5
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func approxEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func mayFail(ok bool) error {
+	if !ok {
+		return errors.New("failed")
+	}
+	return nil
+}
+
+func handle() error {
+	if err := mayFail(true); err != nil {
+		return err
+	}
+	return nil
+}

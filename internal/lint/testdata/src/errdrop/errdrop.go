@@ -1,0 +1,17 @@
+// Package errdrop discards error returns three different ways.
+package errdrop
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func both() (int, error) { return 0, errors.New("boom") }
+
+func sink(int) {}
+
+func drop() {
+	fail()
+	_ = fail()
+	n, _ := both()
+	sink(n)
+}

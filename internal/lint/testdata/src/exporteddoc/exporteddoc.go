@@ -1,0 +1,21 @@
+// Package exporteddoc leaves exported identifiers undocumented.
+package exporteddoc
+
+// Documented carries a doc comment and is not flagged.
+type Documented struct{}
+
+type Missing struct{}
+
+func (m Missing) Do() {}
+
+func Exported() {}
+
+const Answer = 42
+
+var Value = "v"
+
+// Grouped constants share the group doc and are not flagged.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)

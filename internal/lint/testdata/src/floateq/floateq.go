@@ -1,0 +1,10 @@
+// Package floateq compares floating-point values with == and !=.
+package floateq
+
+func equalish(a, b float64) bool {
+	return a == b
+}
+
+func differs(x, y float32) bool {
+	return x != y
+}

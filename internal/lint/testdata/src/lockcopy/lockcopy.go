@@ -1,0 +1,29 @@
+// Package lockcopy copies mutex-bearing structs by value.
+package lockcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func byValue(g guarded) int {
+	return g.n
+}
+
+func copyIt(g *guarded) int {
+	c := *g
+	return c.n
+}
+
+func declare(g *guarded) int {
+	var c guarded = *g
+	return c.n
+}

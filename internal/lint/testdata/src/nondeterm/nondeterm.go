@@ -1,0 +1,22 @@
+// Package nondeterm violates every simulator-determinism rule: it reads
+// the wall clock, draws from the global math/rand source, and iterates a
+// map.
+package nondeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() float64 {
+	now := time.Now()
+	return float64(now.Unix()) + rand.Float64()
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

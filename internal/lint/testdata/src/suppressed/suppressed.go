@@ -1,0 +1,21 @@
+// Package suppressed carries violations that all have well-formed
+// //lint:ignore suppressions, in both standalone and trailing placement.
+package suppressed
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func drop() {
+	//lint:ignore errdrop best-effort call, result intentionally unused
+	fail()
+}
+
+func same(a, b float64) bool {
+	//lint:ignore floateq exact comparison is the fixture's point
+	return a == b
+}
+
+func diff(a, b float64) bool {
+	return a != b //lint:ignore floateq trailing suppression form
+}

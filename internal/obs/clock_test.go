@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockOrDefaultsToSystem(t *testing.T) {
+	if ClockOr(nil) != SystemClock {
+		t.Fatal("ClockOr(nil) is not the system clock")
+	}
+	mc := NewManualClock(time.Unix(100, 0))
+	if ClockOr(mc) != mc {
+		t.Fatal("ClockOr did not pass through a non-nil clock")
+	}
+	before := time.Now()
+	got := SystemClock.Now()
+	if got.Before(before.Add(-time.Second)) || got.After(before.Add(time.Minute)) {
+		t.Fatalf("SystemClock.Now() = %v, far from %v", got, before)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	base := time.Unix(1000, 0)
+	mc := NewManualClock(base)
+	if !mc.Now().Equal(base) {
+		t.Fatalf("Now() = %v, want %v", mc.Now(), base)
+	}
+	mc.Advance(3 * time.Second)
+	if got := mc.Now(); !got.Equal(base.Add(3 * time.Second)) {
+		t.Fatalf("after Advance: %v", got)
+	}
+	// Time must not move unless told to.
+	if !mc.Now().Equal(mc.Now()) {
+		t.Fatal("manual clock drifted between reads")
+	}
+	reset := time.Unix(5000, 0)
+	mc.Set(reset)
+	if !mc.Now().Equal(reset) {
+		t.Fatalf("after Set: %v", mc.Now())
+	}
+}

@@ -10,6 +10,7 @@ import (
 func MetricsHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore errdrop best-effort write; a departed scrape client has nowhere to report the error
 		_ = r.WritePrometheus(w)
 	})
 }
@@ -18,6 +19,7 @@ func MetricsHandler(r *Registry) http.Handler {
 func JSONHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		//lint:ignore errdrop best-effort write; a departed scrape client has nowhere to report the error
 		_ = r.WriteJSON(w)
 	})
 }

@@ -152,14 +152,14 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 		return 0, fmt.Errorf("online: non-positive rate estimate %v", estimatedRate)
 	}
 	thr := c.RetuneThreshold
-	if thr == 0 {
+	if thr <= 0 {
 		thr = 0.15
 	}
 	if c.haveDecision && math.Abs(estimatedRate-c.tunedRate)/c.tunedRate <= thr {
 		return c.currentTO, nil
 	}
 	maxTO := c.MaxTimeout
-	if maxTO == 0 {
+	if maxTO <= 0 {
 		maxTO = 300
 	}
 	iter := c.AnnealIter

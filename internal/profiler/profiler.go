@@ -217,7 +217,7 @@ func (p *Profiler) MeasureMarginalRate() (float64, float64) {
 	var times []float64
 	for i := range res.Queries {
 		q := &res.Queries[i]
-		if q.Sprinted && q.SprintTau == 0 {
+		if q.Sprinted && stats.ApproxZero(q.SprintTau, 1e-12) {
 			times = append(times, q.ProcessingTime())
 		}
 	}

@@ -3,7 +3,6 @@ package queuesim
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"mdsprint/internal/dist"
 	"mdsprint/internal/obs"
@@ -50,6 +49,9 @@ type MultiParams struct {
 	// Tracer receives per-query lifecycle events, tagged with the
 	// query's class name. Nil disables tracing (see Params.Tracer).
 	Tracer obs.QueryTracer
+	// Clock times the run for the flushed metrics; nil uses the real
+	// clock (see Params.Clock).
+	Clock obs.Clock
 }
 
 func (p MultiParams) validate() error {
@@ -142,9 +144,10 @@ func RunMulti(p MultiParams) (*MultiResult, error) {
 	if total > 0 {
 		s.eng.Schedule(arr.Sample(s.rng), s.arrive)
 	}
-	start := time.Now()
+	clk := obs.ClockOr(p.Clock)
+	start := clk.Now()
 	fired := s.eng.RunAll()
-	flushMetrics(total, fired, s.engages, s.exhaustions, time.Since(start).Seconds())
+	flushMetrics(total, fired, s.engages, s.exhaustions, clk.Now().Sub(start).Seconds())
 	return &s.res, nil
 }
 
@@ -192,6 +195,7 @@ func (s *mcState) pickClass() int {
 
 // classSprints reports whether class ci's sprint clause is active.
 func (s *mcState) classSprints(ci int) bool {
+	//lint:ignore floateq per-class speedups are exactly 1 only via the no-sprint sentinel; ratios near 1 must keep sprinting
 	return s.p.Classes[ci].Timeout >= 0 && s.p.BudgetSeconds > 0 && s.speedups[ci] != 1
 }
 

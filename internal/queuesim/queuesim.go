@@ -25,7 +25,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"time"
 
 	"mdsprint/internal/dist"
 	"mdsprint/internal/obs"
@@ -76,6 +75,12 @@ type Params struct {
 	// budget. A tracer shared across Predict replications must be safe
 	// for concurrent use (obs.RingTracer is).
 	Tracer obs.QueryTracer
+	// Clock times the run for the flushed metrics (run seconds, event
+	// rate). Simulation itself runs on virtual time and never reads it;
+	// nil uses the real clock. Inject obs.ManualClock to keep measured
+	// regions reproducible (the nondeterm analyzer forbids bare
+	// time.Now in this package).
+	Clock obs.Clock
 }
 
 func (p Params) withDefaults() Params {
@@ -130,6 +135,7 @@ func (p Params) speedup() float64 {
 // sprint.Policy. Note speedups below 1 keep sprinting "enabled": the
 // mechanism still toggles, it just hurts.
 func (p Params) sprintingEnabled() bool {
+	//lint:ignore floateq speedup() yields exactly 1 as its no-sprint sentinel; ratios near 1 must keep the mechanism toggling
 	return p.Timeout >= 0 && p.BudgetSeconds > 0 && p.speedup() != 1
 }
 
@@ -283,9 +289,10 @@ func Run(p Params) (*Result, error) {
 	s.res.RTs = make([]float64, 0, p.NumQueries)
 	s.res.QueueingTimes = make([]float64, 0, p.NumQueries)
 	s.eng.Schedule(s.arr.Sample(s.rng), s.arrive)
-	start := time.Now()
+	clk := obs.ClockOr(p.Clock)
+	start := clk.Now()
 	fired := s.eng.RunAll()
-	flushMetrics(total, fired, s.engages, s.exhaustions, time.Since(start).Seconds())
+	flushMetrics(total, fired, s.engages, s.exhaustions, clk.Now().Sub(start).Seconds())
 	return &s.res, nil
 }
 

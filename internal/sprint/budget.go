@@ -121,6 +121,7 @@ func (a *Accountant) advance(now float64) {
 		now-a.idleSince >= a.windowRefill {
 		a.level = a.capacity
 	}
+	//lint:ignore floateq exact fast-path: repeated events at the identical virtual time must not integrate
 	if dt == 0 {
 		return
 	}

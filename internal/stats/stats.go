@@ -10,6 +10,33 @@ import (
 	"sort"
 )
 
+// ApproxEqual reports whether a and b agree to within eps, combining an
+// absolute and a relative test: |a-b| <= eps or |a-b| <= eps*max(|a|,|b|).
+// It is the project's sanctioned replacement for float equality (the
+// floateq analyzer forbids bare ==/!= on floats). NaN equals nothing;
+// equal infinities are equal. A non-positive eps degenerates to exact
+// comparison.
+func ApproxEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	// Allowlisted in the floateq config: the epsilon helper itself may
+	// short-circuit on exact matches and equal infinities.
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	return diff <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// ApproxZero reports whether |x| <= eps. NaN is never approximately zero.
+func ApproxZero(x, eps float64) bool {
+	return math.Abs(x) <= eps
+}
+
 // Mean returns the arithmetic mean of xs, or NaN for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -47,7 +74,9 @@ func CoV(xs []float64) float64 {
 	if math.IsNaN(m) {
 		return math.NaN()
 	}
+	//lint:ignore floateq exact-zero guards against division by zero; approximate zeros must still divide
 	if m == 0 {
+		//lint:ignore floateq see above: only a bitwise-zero spread makes CoV 0 here
 		if sd == 0 {
 			return 0
 		}
@@ -119,7 +148,9 @@ func Max(xs []float64) float64 {
 // prediction-error metric. A zero observation yields +Inf unless the
 // prediction is also zero.
 func AbsRelError(predicted, observed float64) float64 {
+	//lint:ignore floateq exact-zero guard against division by zero, per the function contract
 	if observed == 0 {
+		//lint:ignore floateq exact match of a zero observation is the one error-free case
 		if predicted == 0 {
 			return 0
 		}

@@ -97,6 +97,7 @@ func (c *Config) withDefaults() Config {
 	if out.ArrivalKind == "" {
 		out.ArrivalKind = dist.KindExponential
 	}
+	//lint:ignore floateq 0 is the "use default" sentinel while negative means "explicitly zero", so <= 0 would erase that distinction
 	if out.LoadCoeff == 0 {
 		out.LoadCoeff = defaultLoadCoeff
 	}

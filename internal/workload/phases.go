@@ -136,6 +136,7 @@ func NewSprintCurve(g func(float64) float64, s float64) *SprintCurve {
 		panic(fmt.Sprintf("workload: sprint speedup %v must be finite and >= 1", s))
 	}
 	c := &SprintCurve{speedup: s}
+	//lint:ignore floateq exactly 1 selects the degenerate no-op curve; near-1 speedups must still tabulate the real shape
 	if s == 1 {
 		// Sprinting is a no-op; remaining time equals sustained time.
 		c.cum = linspaceCum(func(float64) float64 { return 1 })
