@@ -26,9 +26,31 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# -shuffle=on randomises test (and subtest) execution order each run,
+# so accidental inter-test state dependencies surface instead of hiding
+# behind source order.
 .PHONY: test
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+
+# cover is the coverage ratchet: the engine-critical packages must not
+# drop below the floors recorded here (a few points under measured, so
+# refactors have headroom but regressions fail loudly). Raise a floor
+# when its package's coverage rises; never lower one to make CI pass.
+.PHONY: cover
+cover:
+	@set -e; \
+	check() { \
+		pct=$$($(GO) test -count=1 -cover $$1 | \
+			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage for $$1"; exit 1; fi; \
+		echo "$$1: $$pct% (floor $$2%)"; \
+		if awk -v p="$$pct" -v f="$$2" 'BEGIN { exit !(p < f) }'; then \
+			echo "cover: $$1 fell below its $$2% floor"; exit 1; fi; \
+	}; \
+	check ./internal/sweep 90; \
+	check ./internal/queuesim 91; \
+	check ./internal/explore 95
 
 # The experiments suite runs ~2 minutes without the race detector; the
 # detector's 5-10x slowdown overruns go test's default 10m binary
@@ -47,6 +69,13 @@ fuzz-smoke:
 .PHONY: bench-obs
 bench-obs:
 	$(GO) test -run '^$$' -bench 'SimulateOne' -benchmem .
+
+# bench-sweep measures the policy-sweep engine: serial vs sharded
+# throughput and the memoized path (baseline recorded in
+# BENCH_sweep.json; sharded gains need >1 CPU).
+.PHONY: bench-sweep
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'Sweep(Serial|Sharded|Cached)' -benchmem ./internal/sweep/
 
 .PHONY: bench
 bench:

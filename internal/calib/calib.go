@@ -26,6 +26,7 @@ import (
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
 )
 
 // Options tunes the calibration search.
@@ -47,6 +48,10 @@ type Options struct {
 	Seed uint64
 	// Workers bounds CalibrateDataset concurrency (default NumCPU).
 	Workers int
+	// Engine evaluates the simulator; nil uses sweep.Shared(), so
+	// repeated bracket/bisection points — and whole re-calibrations of a
+	// dataset — are memoized across the process.
+	Engine *sweep.Engine
 	// Metrics receives calibration progress (records calibrated,
 	// simulator evaluations, convergence); nil records into
 	// obs.Default().
@@ -147,9 +152,14 @@ func simParams(ds *profiler.Dataset, obs profiler.Observation, rate float64, o O
 
 // SimulateRT evaluates the queue simulator's mean response time for one
 // observation at the given sprint rate, with common random numbers.
+// Evaluations route through the sweep engine, so re-visited rates come
+// from the memoization cache instead of re-simulating.
 func SimulateRT(ds *profiler.Dataset, obs profiler.Observation, rate float64, o Options) float64 {
 	o = o.withDefaults()
-	pred, err := queuesim.Predict(simParams(ds, obs, rate, o), o.Replications, 1)
+	pred, err := sweep.Or(o.Engine).Evaluate(sweep.Task{
+		Params: simParams(ds, obs, rate, o),
+		Reps:   o.Replications,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("calib: simulate: %v", err))
 	}

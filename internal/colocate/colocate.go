@@ -23,6 +23,7 @@ import (
 	"mdsprint/internal/explore"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/sprint"
+	"mdsprint/internal/sweep"
 	"mdsprint/internal/workload"
 )
 
@@ -124,6 +125,14 @@ type RTEstimator interface {
 	BaselineRT(w Workload) float64
 }
 
+// BatchRTEstimator is an RTEstimator that can score many plans in one
+// call. Planners use it to hand whole candidate chunks to the sweep
+// engine, which shards the simulations and memoizes re-scored plans.
+type BatchRTEstimator interface {
+	RTEstimator
+	MeanRTs(w Workload, plans []Plan) []float64
+}
+
 // SimEstimator estimates response times with the timeout-aware queue
 // simulator, using the class's service model at the plan's throttled
 // rate — the model-driven path of Section 4.4.
@@ -131,6 +140,9 @@ type SimEstimator struct {
 	SimQueries int
 	SimReps    int
 	Seed       uint64
+	// Engine evaluates (and memoizes) the simulations; nil uses
+	// sweep.Shared().
+	Engine *sweep.Engine
 }
 
 func (e SimEstimator) Params(w Workload, p Plan) queuesim.Params {
@@ -155,18 +167,53 @@ func (e SimEstimator) Params(w Workload, p Plan) queuesim.Params {
 	}
 }
 
+func (e SimEstimator) reps() int {
+	if e.SimReps == 0 {
+		return 2
+	}
+	return e.SimReps
+}
+
 // MeanRT simulates the workload under the plan.
 func (e SimEstimator) MeanRT(w Workload, p Plan) float64 {
-	reps := e.SimReps
-	if reps == 0 {
-		reps = 2
-	}
-	pred, err := queuesim.Predict(e.Params(w, p), reps, 1)
+	pred, err := sweep.Or(e.Engine).Evaluate(sweep.Task{Params: e.Params(w, p), Reps: e.reps()})
 	if err != nil {
 		panic(fmt.Sprintf("colocate: %v", err))
 	}
 	return pred.MeanRT
 }
+
+// MeanRTs scores a batch of plans as one sweep, in plan order.
+func (e SimEstimator) MeanRTs(w Workload, plans []Plan) []float64 {
+	tasks := make([]sweep.Task, len(plans))
+	for i, p := range plans {
+		tasks[i] = sweep.Task{Params: e.Params(w, p), Reps: e.reps()}
+	}
+	rts, err := sweep.Or(e.Engine).MeanRTs(tasks)
+	if err != nil {
+		panic(fmt.Sprintf("colocate: %v", err))
+	}
+	return rts
+}
+
+// meanRTs batch-scores plans through a BatchRTEstimator, falling back to
+// serial MeanRT calls — the results are identical either way; only
+// sharding and memoization differ.
+func meanRTs(est RTEstimator, w Workload, plans []Plan) []float64 {
+	if be, ok := est.(BatchRTEstimator); ok {
+		return be.MeanRTs(w, plans)
+	}
+	out := make([]float64, len(plans))
+	for i, p := range plans {
+		out[i] = est.MeanRT(w, p)
+	}
+	return out
+}
+
+// scoreChunk is how many candidate plans the planners score per batch:
+// enough to keep a worker pool busy, small enough to bound the work
+// evaluated past the first (cheapest) SLO-meeting plan.
+const scoreChunk = 8
 
 // BaselineRT simulates the unthrottled workload (full CPU, no sprints).
 func (e SimEstimator) BaselineRT(w Workload) float64 {
@@ -250,9 +297,17 @@ func BudgetPlanner(est RTEstimator, refill float64) Planner {
 	}
 	return func(w Workload) (Plan, bool) {
 		base := est.BaselineRT(w)
-		for _, p := range candidates(w, []float64{refill}) {
-			if est.MeanRT(w, p) <= SLOFactor*base {
-				return p, true
+		cands := candidates(w, []float64{refill})
+		for i := 0; i < len(cands); i += scoreChunk {
+			end := i + scoreChunk
+			if end > len(cands) {
+				end = len(cands)
+			}
+			rts := meanRTs(est, w, cands[i:end])
+			for j, rt := range rts {
+				if rt <= SLOFactor*base {
+					return cands[i+j], true
+				}
 			}
 		}
 		return Plan{Dedicated: true}, false
@@ -272,27 +327,42 @@ func SprintPlanner(est RTEstimator, annealIter int, seed uint64) Planner {
 		base := est.BaselineRT(w)
 		slo := SLOFactor * base
 		maxTO := 4 / (w.Class.BurstQPH / 3600) // ~4 unthrottled service times
-		for _, p := range candidates(w, planRefills) {
-			rt0 := est.MeanRT(w, p)
-			if rt0 <= slo {
-				return p, true
+		cands := candidates(w, planRefills)
+		for i := 0; i < len(cands); i += scoreChunk {
+			end := i + scoreChunk
+			if end > len(cands) {
+				end = len(cands)
 			}
-			// A timeout redistributes budget; it cannot rescue a
-			// plan that misses the SLO by a wide margin.
-			if rt0 > 1.8*slo {
-				continue
-			}
-			res, err := explore.MinimizeTimeout(func(to float64) float64 {
-				cand := p
-				cand.Timeout = to
-				return est.MeanRT(w, cand)
-			}, 0, maxTO, explore.Options{MaxIter: annealIter, Seed: seed})
-			if err != nil {
-				panic(err)
-			}
-			if res.RT <= slo {
-				p.Timeout = res.Point[0]
-				return p, true
+			rts := meanRTs(est, w, cands[i:end])
+			for j, rt0 := range rts {
+				p := cands[i+j]
+				if rt0 <= slo {
+					return p, true
+				}
+				// A timeout redistributes budget; it cannot rescue a
+				// plan that misses the SLO by a wide margin.
+				if rt0 > 1.8*slo {
+					continue
+				}
+				// Anneal the timeout, scoring proposal cohorts as one
+				// sweep. The trajectory is cohort-invariant, so the
+				// chosen timeout does not depend on the estimator's
+				// batching or the engine's worker count.
+				res, err := explore.MinimizeTimeoutBatch(func(tos []float64) ([]float64, error) {
+					variants := make([]Plan, len(tos))
+					for k, to := range tos {
+						variants[k] = p
+						variants[k].Timeout = to
+					}
+					return meanRTs(est, w, variants), nil
+				}, 0, maxTO, explore.BatchOptions{Options: explore.Options{MaxIter: annealIter, Seed: seed}})
+				if err != nil {
+					panic(err)
+				}
+				if res.RT <= slo {
+					p.Timeout = res.Point[0]
+					return p, true
+				}
 			}
 		}
 		return Plan{Dedicated: true}, false

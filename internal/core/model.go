@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"mdsprint/internal/ann"
@@ -28,6 +29,7 @@ import (
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
 )
 
 // Scenario is one prediction request: a sprinting policy plus workload
@@ -136,39 +138,96 @@ var modelMetrics = struct {
 	seconds:     obs.Default().Histogram("mdsprint_model_predict_seconds", "wall-clock seconds per model prediction", 0),
 }
 
-// simulate runs the timeout-aware queue simulator for a scenario at the
-// given sprint rate, forwarding lifecycle events to tracer when non-nil.
-func simulate(ds *profiler.Dataset, sc Scenario, rate float64, queries, reps, workers int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
+// simTask builds one sweep-engine task for a scenario at the given
+// sprint rate, forwarding lifecycle events to tracer when non-nil (a
+// tracer makes the task bypass the engine's memoization, so observed
+// predictions always execute).
+func simTask(ds *profiler.Dataset, sc Scenario, rate float64, queries, reps int, seed uint64, tracer obs.QueryTracer) (sweep.Task, error) {
 	if len(ds.ServiceSamples) == 0 {
-		return Prediction{}, fmt.Errorf("core: dataset %s/%s has no service samples", ds.MixName, ds.MechName)
+		return sweep.Task{}, fmt.Errorf("core: dataset %s/%s has no service samples", ds.MixName, ds.MechName)
 	}
-	p := queuesim.Params{
-		ArrivalRate:   sc.arrivalRate(ds),
-		ArrivalKind:   sc.Cond.ArrivalKind,
-		Service:       dist.NewEmpirical(ds.ServiceSamples),
-		ServiceRate:   ds.ServiceRate,
-		SprintRate:    rate,
-		Timeout:       sc.Cond.Timeout,
-		BudgetSeconds: sc.Cond.Policy().BudgetSeconds,
-		RefillTime:    sc.Cond.RefillTime,
-		NumQueries:    queries,
-		Warmup:        queries / 10,
-		Seed:          seed,
-		Tracer:        tracer,
+	return sweep.Task{
+		Params: queuesim.Params{
+			ArrivalRate:   sc.arrivalRate(ds),
+			ArrivalKind:   sc.Cond.ArrivalKind,
+			Service:       dist.NewEmpirical(ds.ServiceSamples),
+			ServiceRate:   ds.ServiceRate,
+			SprintRate:    rate,
+			Timeout:       sc.Cond.Timeout,
+			BudgetSeconds: sc.Cond.Policy().BudgetSeconds,
+			RefillTime:    sc.Cond.RefillTime,
+			NumQueries:    queries,
+			Warmup:        queries / 10,
+			Seed:          seed,
+			Tracer:        tracer,
+		},
+		Reps: reps,
+	}, nil
+}
+
+// toPrediction converts the simulator's pooled prediction.
+func toPrediction(p queuesim.Prediction, rate float64) Prediction {
+	return Prediction{
+		MeanRT:     p.MeanRT,
+		P95RT:      p.P95RT,
+		P99RT:      p.P99RT,
+		SprintRate: rate,
+	}
+}
+
+// simulate evaluates one scenario through the sweep engine.
+func simulate(e *sweep.Engine, ds *profiler.Dataset, sc Scenario, rate float64, queries, reps int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
+	t, err := simTask(ds, sc, rate, queries, reps, seed, tracer)
+	if err != nil {
+		return Prediction{}, err
 	}
 	start := time.Now()
-	pred, err := queuesim.Predict(p, reps, workers)
+	pred, err := sweep.Or(e).Evaluate(t)
 	if err != nil {
 		return Prediction{}, err
 	}
 	modelMetrics.predictions.Inc()
 	modelMetrics.seconds.Observe(time.Since(start).Seconds())
-	return Prediction{
-		MeanRT:     pred.MeanRT,
-		P95RT:      pred.P95RT,
-		P99RT:      pred.P99RT,
-		SprintRate: rate,
-	}, nil
+	return toPrediction(pred, rate), nil
+}
+
+// simulateAll evaluates a batch of scenarios at per-scenario sprint
+// rates, sharded across the engine's workers with results in scenario
+// order.
+func simulateAll(e *sweep.Engine, ds *profiler.Dataset, scs []Scenario, rates []float64, queries, reps int, seed uint64, tracer obs.QueryTracer) ([]Prediction, error) {
+	tasks := make([]sweep.Task, len(scs))
+	for i, sc := range scs {
+		t, err := simTask(ds, sc, rates[i], queries, reps, seed, tracer)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	start := time.Now()
+	preds, err := sweep.Or(e).EvaluateAll(tasks)
+	if err != nil {
+		return nil, err
+	}
+	modelMetrics.predictions.Add(float64(len(scs)))
+	modelMetrics.seconds.Observe(time.Since(start).Seconds())
+	out := make([]Prediction, len(preds))
+	for i, p := range preds {
+		out[i] = toPrediction(p, rates[i])
+	}
+	return out, nil
+}
+
+// engineFor resolves a model's evaluation engine: an explicit engine
+// wins; a legacy Workers hint gets a dedicated pool of that size;
+// otherwise the process-shared engine serves.
+func engineFor(e *sweep.Engine, workers int) *sweep.Engine {
+	if e != nil {
+		return e
+	}
+	if workers > 0 {
+		return sweep.New(sweep.Options{Workers: workers})
+	}
+	return sweep.Shared()
 }
 
 // Evaluation compares a model's predictions to held-out observations.
@@ -178,22 +237,49 @@ type Evaluation struct {
 	Errors    []float64
 }
 
+// BatchModel is a Model that can score many scenarios in one call —
+// simulator-backed models implement it by handing the batch to the sweep
+// engine, which shards the evaluations and memoizes repeats.
+type BatchModel interface {
+	Model
+	PredictAll(ds *profiler.Dataset, scs []Scenario) ([]Prediction, error)
+}
+
 // Evaluate predicts every observation's condition and collects absolute
-// relative errors, the metric of Figures 7-10.
+// relative errors, the metric of Figures 7-10. Models implementing
+// BatchModel are scored as one sweep; others fall back to serial
+// Predict calls (the two paths are bit-identical — see the sweep
+// engine's determinism contract).
 func Evaluate(m Model, ds *profiler.Dataset, obs []profiler.Observation) (Evaluation, error) {
 	ev := Evaluation{
 		Predicted: make([]float64, 0, len(obs)),
 		Observed:  make([]float64, 0, len(obs)),
 		Errors:    make([]float64, 0, len(obs)),
 	}
-	for _, o := range obs {
-		pred, err := m.Predict(ds, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
-		if err != nil {
-			return Evaluation{}, fmt.Errorf("core: evaluating %s: %w", o.Cond, err)
+	preds := make([]Prediction, 0, len(obs))
+	if bm, ok := m.(BatchModel); ok {
+		scs := make([]Scenario, len(obs))
+		for i, o := range obs {
+			scs[i] = Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate}
 		}
-		ev.Predicted = append(ev.Predicted, pred.MeanRT)
+		batch, err := bm.PredictAll(ds, scs)
+		if err != nil {
+			return Evaluation{}, fmt.Errorf("core: evaluating batch: %w", err)
+		}
+		preds = batch
+	} else {
+		for _, o := range obs {
+			pred, err := m.Predict(ds, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
+			if err != nil {
+				return Evaluation{}, fmt.Errorf("core: evaluating %s: %w", o.Cond, err)
+			}
+			preds = append(preds, pred)
+		}
+	}
+	for i, o := range obs {
+		ev.Predicted = append(ev.Predicted, preds[i].MeanRT)
 		ev.Observed = append(ev.Observed, o.MeanRT)
-		ev.Errors = append(ev.Errors, math.Abs(pred.MeanRT-o.MeanRT)/o.MeanRT)
+		ev.Errors = append(ev.Errors, math.Abs(preds[i].MeanRT-o.MeanRT)/o.MeanRT)
 	}
 	return ev, nil
 }
@@ -247,30 +333,59 @@ type NoML struct {
 	// SimQueries and SimReps size each prediction (defaults 4000/2).
 	SimQueries int
 	SimReps    int
-	Workers    int
-	Seed       uint64
-	// Tracer forwards the prediction simulations' lifecycle events.
+	// Workers sizes a dedicated evaluation pool when Engine is nil;
+	// zero shares the process-wide sweep engine.
+	Workers int
+	Seed    uint64
+	// Engine evaluates (and memoizes) the prediction simulations; nil
+	// resolves per Workers above.
+	Engine *sweep.Engine
+	// Tracer forwards the prediction simulations' lifecycle events
+	// (and disables memoization for them).
 	Tracer obs.QueryTracer
+
+	engineOnce sync.Once
+	engine     *sweep.Engine
 }
 
 func (n *NoML) Name() string { return "No-ML" }
 
-func (n *NoML) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
-	queries, reps := n.SimQueries, n.SimReps
+func (n *NoML) resolveEngine() *sweep.Engine {
+	n.engineOnce.Do(func() { n.engine = engineFor(n.Engine, n.Workers) })
+	return n.engine
+}
+
+func (n *NoML) simSizes() (queries, reps int) {
+	queries, reps = n.SimQueries, n.SimReps
 	if queries == 0 {
 		queries = 4000
 	}
 	if reps == 0 {
 		reps = 2
 	}
-	return simulate(ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Workers, n.Seed, n.Tracer)
+	return queries, reps
+}
+
+func (n *NoML) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
+	queries, reps := n.simSizes()
+	return simulate(n.resolveEngine(), ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Seed, n.Tracer)
+}
+
+// PredictAll scores a batch of scenarios as one sweep.
+func (n *NoML) PredictAll(ds *profiler.Dataset, scs []Scenario) ([]Prediction, error) {
+	queries, reps := n.simSizes()
+	rates := make([]float64, len(scs))
+	for i, sc := range scs {
+		rates[i] = conditionMarginal(ds, sc.Cond)
+	}
+	return simulateAll(n.resolveEngine(), ds, scs, rates, queries, reps, n.Seed, n.Tracer)
 }
 
 // ensure interface conformance.
 var (
-	_ Model = (*ANN)(nil)
-	_ Model = (*NoML)(nil)
-	_ Model = (*Hybrid)(nil)
+	_ Model      = (*ANN)(nil)
+	_ BatchModel = (*NoML)(nil)
+	_ BatchModel = (*Hybrid)(nil)
 )
 
 // Hybrid is the paper's model. See package documentation.
@@ -281,8 +396,8 @@ type Hybrid struct {
 
 	simQueries int
 	simReps    int
-	workers    int
 	seed       uint64
+	engine     *sweep.Engine
 	tracer     obs.QueryTracer
 }
 
@@ -293,8 +408,14 @@ type HybridOptions struct {
 	// SimQueries and SimReps size each prediction (defaults 4000/2).
 	SimQueries int
 	SimReps    int
-	Workers    int
-	Seed       uint64
+	// Workers sizes a dedicated evaluation pool when Engine is nil;
+	// zero shares the process-wide sweep engine.
+	Workers int
+	Seed    uint64
+	// Engine evaluates (and memoizes) prediction simulations; it is
+	// also threaded into Calib when Calib.Engine is unset, so training
+	// and prediction share one memoization pool.
+	Engine *sweep.Engine
 	// Metrics receives calibration progress (threaded into Calib when
 	// Calib.Metrics is unset); Tracer receives prediction lifecycle
 	// events. Both may be nil.
@@ -311,6 +432,9 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 	copts := o.Calib
 	if copts.Metrics == nil {
 		copts.Metrics = o.Metrics
+	}
+	if copts.Engine == nil {
+		copts.Engine = o.Engine
 	}
 	var samples []forest.Sample
 	var records []calib.Record
@@ -342,8 +466,8 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 		records:    records,
 		simQueries: o.SimQueries,
 		simReps:    o.SimReps,
-		workers:    o.Workers,
 		seed:       o.Seed,
+		engine:     engineFor(o.Engine, o.Workers),
 		tracer:     o.Tracer,
 	}
 	if h.simQueries == 0 {
@@ -365,7 +489,7 @@ func NewHybridFromForest(f *forest.Forest, simQueries, simReps, workers int, see
 	if simReps == 0 {
 		simReps = 2
 	}
-	return &Hybrid{forest: f, simQueries: simQueries, simReps: simReps, workers: workers, seed: seed}
+	return &Hybrid{forest: f, simQueries: simQueries, simReps: simReps, seed: seed, engine: engineFor(nil, workers)}
 }
 
 func (h *Hybrid) Name() string { return "Hybrid" }
@@ -389,7 +513,18 @@ func (h *Hybrid) EffectiveRate(ds *profiler.Dataset, sc Scenario) float64 {
 // Predict runs the Figure 2 pipeline: features -> forest -> effective
 // sprint rate -> timeout-aware queue simulation -> response time.
 func (h *Hybrid) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
-	return simulate(ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.workers, h.seed, h.tracer)
+	return simulate(h.engine, ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.seed, h.tracer)
+}
+
+// PredictAll runs the pipeline for a batch of scenarios as one sweep:
+// the forest prices every scenario's effective rate up front, then the
+// engine shards (and memoizes) the queue simulations.
+func (h *Hybrid) PredictAll(ds *profiler.Dataset, scs []Scenario) ([]Prediction, error) {
+	rates := make([]float64, len(scs))
+	for i, sc := range scs {
+		rates[i] = h.EffectiveRate(ds, sc)
+	}
+	return simulateAll(h.engine, ds, scs, rates, h.simQueries, h.simReps, h.seed, h.tracer)
 }
 
 // Records exposes the calibrated training rows (for diagnostics and the

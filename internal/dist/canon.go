@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Canonical byte encoding of distributions, consumed by internal/sweep's
+// memoization fingerprint. Two distributions that generate identical
+// sample streams for every RNG must encode to identical bytes, and any
+// parameter change must change the bytes. Each encoding starts with a
+// distinct type tag, and every numeric parameter is written as its exact
+// IEEE-754 bit pattern, so no formatting or rounding can alias two
+// different distributions.
+
+// canon type tags. The numeric values are part of the fingerprint format:
+// never reorder or reuse them, only append.
+const (
+	canonExponential byte = iota + 1
+	canonDeterministic
+	canonUniform
+	canonPareto
+	canonTruncatedPareto
+	canonLogNormal
+	canonErlang
+	canonHyperexponential
+	canonEmpirical
+	canonMixture
+	canonSequence
+	canonScaled
+)
+
+// appendFloat appends v's IEEE-754 bit pattern, little-endian.
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendLen appends a collection length, fixed-width so element payloads
+// of one distribution can never be parsed as the header of the next.
+func appendLen(b []byte, n int) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(n))
+}
+
+// AppendCanon appends d's canonical encoding to b and returns the
+// extended slice. Distribution types outside this package's catalog
+// return an error; callers (the sweep engine) treat that as
+// "uncacheable" and bypass memoization rather than risk a collision.
+func AppendCanon(b []byte, d Dist) ([]byte, error) {
+	switch v := d.(type) {
+	case Exponential:
+		return appendFloat(append(b, canonExponential), v.Rate), nil
+	case Deterministic:
+		return appendFloat(append(b, canonDeterministic), v.Value), nil
+	case Uniform:
+		return appendFloat(appendFloat(append(b, canonUniform), v.Lo), v.Hi), nil
+	case Pareto:
+		return appendFloat(appendFloat(append(b, canonPareto), v.Xm), v.Alpha), nil
+	case TruncatedPareto:
+		b = appendFloat(append(b, canonTruncatedPareto), v.Xm)
+		return appendFloat(appendFloat(b, v.Alpha), v.Max), nil
+	case LogNormal:
+		return appendFloat(appendFloat(append(b, canonLogNormal), v.Mu), v.Sigma), nil
+	case Erlang:
+		b = appendLen(append(b, canonErlang), v.K)
+		return appendFloat(b, v.Rate), nil
+	case Hyperexponential:
+		b = appendLen(append(b, canonHyperexponential), len(v.P))
+		for _, p := range v.P {
+			b = appendFloat(b, p)
+		}
+		for _, r := range v.Rates {
+			b = appendFloat(b, r)
+		}
+		return b, nil
+	case *Empirical:
+		b = appendLen(append(b, canonEmpirical), len(v.values))
+		for _, s := range v.values {
+			b = appendFloat(b, s)
+		}
+		return b, nil
+	case Mixture:
+		b = appendLen(append(b, canonMixture), len(v.Weights))
+		for _, w := range v.Weights {
+			b = appendFloat(b, w)
+		}
+		var err error
+		for _, c := range v.Components {
+			if b, err = AppendCanon(b, c); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case *Sequence:
+		// Sequence is stateful: the replay cursor is part of the
+		// identity, since two sequences at different positions produce
+		// different sample streams.
+		b = appendLen(append(b, canonSequence), len(v.values))
+		for _, s := range v.values {
+			b = appendFloat(b, s)
+		}
+		b = appendFloat(b, v.jitter)
+		return appendLen(b, v.idx), nil
+	case Scaled:
+		b = appendFloat(append(b, canonScaled), v.Factor)
+		return AppendCanon(b, v.Base)
+	default:
+		return nil, fmt.Errorf("dist: no canonical encoding for %T", d)
+	}
+}

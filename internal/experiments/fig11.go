@@ -8,6 +8,7 @@ import (
 	"mdsprint/internal/dist"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/stats"
+	"mdsprint/internal/sweep"
 )
 
 // Fig11Point is one (queries-per-prediction, cores) measurement.
@@ -59,30 +60,42 @@ func Fig11(lab *Lab) Fig11Result {
 	}
 	perCore := map[int]map[int]float64{} // workers -> count -> preds/min
 	for _, workers := range workerSets {
+		// A dedicated engine per worker count, cache disabled: this
+		// figure measures raw simulation throughput, and memoized hits
+		// would report cache reads as predictions.
+		eng := sweep.New(sweep.Options{Workers: workers, CacheSize: -1})
 		perCore[workers] = map[int]float64{}
 		for _, n := range counts {
 			// One prediction = SimReps replications pooled. Measure
-			// a batch of predictions on the worker pool.
+			// a batch of predictions sharded across the worker pool.
 			batch := 6
 			if n >= 100000 {
 				batch = 2
 			}
-			var preds []float64
-			start := time.Now()
-			for b := 0; b < batch; b++ {
-				pred, err := queuesim.Predict(fig11Params(n, lab.Scale.Seed+uint64(b)*977), lab.Scale.SimReps, workers)
-				if err != nil {
-					panic(err)
+			tasks := make([]sweep.Task, batch)
+			for b := range tasks {
+				tasks[b] = sweep.Task{
+					Params: fig11Params(n, lab.Scale.Seed+uint64(b)*977),
+					Reps:   lab.Scale.SimReps,
 				}
-				preds = append(preds, pred.MeanRT)
+			}
+			start := time.Now()
+			if _, err := eng.EvaluateAll(tasks); err != nil {
+				panic(err)
 			}
 			elapsed := time.Since(start).Minutes()
 			// CoV across extra independent predictions (cheap
 			// single-rep runs) to see the variance knee.
-			var means []float64
-			for b := 0; b < 12; b++ {
-				r := queuesim.MustRun(fig11Params(n, lab.Scale.Seed+1000+uint64(b)*31))
-				means = append(means, r.MeanRT())
+			covTasks := make([]sweep.Task, 12)
+			for b := range covTasks {
+				covTasks[b] = sweep.Task{
+					Params: fig11Params(n, lab.Scale.Seed+1000+uint64(b)*31),
+					Reps:   1,
+				}
+			}
+			means, err := eng.MeanRTs(covTasks)
+			if err != nil {
+				panic(err)
 			}
 			pt := Fig11Point{
 				QueriesPerPrediction: n,
@@ -119,7 +132,7 @@ func (r Fig11Result) Table() Table {
 		)
 	}
 	if r.MaxCPUs == 1 {
-		t.AddNote("host has a single CPU: replication-level parallelism (queuesim.Predict worker pools) is structural but unmeasurable here (paper: 11.4x on 12 cores)")
+		t.AddNote("host has a single CPU: task-level sharding (the sweep engine's worker pool) is structural but unmeasurable here (paper: 11.4x on 12 cores)")
 	} else {
 		t.AddNote("multi-core scaling at the largest size: %s on %d cores (paper: 11.4x on 12 cores)",
 			ratio(r.Scaling), r.MaxCPUs)

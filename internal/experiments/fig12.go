@@ -10,6 +10,7 @@ import (
 	"mdsprint/internal/policies"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
 	"mdsprint/internal/workload"
 )
 
@@ -101,7 +102,7 @@ func noThrottleRT(lab *Lab, ds *profiler.Dataset, arrivalRate float64) float64 {
 		Warmup:      lab.Scale.SimQueries / 10,
 		Seed:        lab.Scale.Seed + 89,
 	}
-	pred, err := queuesim.Predict(p, lab.Scale.SimReps, 1)
+	pred, err := lab.Engine().Evaluate(sweep.Task{Params: p, Reps: lab.Scale.SimReps})
 	if err != nil {
 		panic(err)
 	}
@@ -132,6 +133,7 @@ func fig12Run(lab *Lab, mix workload.Mix, tag string) (Fig12AB, error) {
 		SimQueries:  lab.Scale.SimQueries,
 		SimReps:     lab.Scale.SimReps,
 		Seed:        lab.Scale.Seed + 91,
+		Engine:      lab.Engine(),
 	}
 	for _, setup := range setups {
 		curve := Fig12Curve{Setup: setup}

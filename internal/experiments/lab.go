@@ -20,6 +20,7 @@ import (
 	"mdsprint/internal/forest"
 	"mdsprint/internal/mech"
 	"mdsprint/internal/profiler"
+	"mdsprint/internal/sweep"
 	"mdsprint/internal/workload"
 )
 
@@ -73,10 +74,14 @@ func Full() Scale {
 }
 
 // Lab caches profiled datasets, splits and trained models across
-// experiments.
+// experiments, and owns the sweep engine their simulator evaluations
+// share: calibration, model predictions and policy scoring all memoize
+// into one pool, so experiments that revisit conditions (Figures 10,
+// 12-13 and the cluster in/out study) pay for each point once.
 type Lab struct {
 	Scale Scale
 
+	engine   *sweep.Engine
 	mu       sync.Mutex
 	datasets map[string]*profiler.Dataset
 	hybrids  map[string]*core.Hybrid
@@ -86,10 +91,14 @@ type Lab struct {
 func NewLab(s Scale) *Lab {
 	return &Lab{
 		Scale:    s,
+		engine:   sweep.New(sweep.Options{}),
 		datasets: make(map[string]*profiler.Dataset),
 		hybrids:  make(map[string]*core.Hybrid),
 	}
 }
+
+// Engine exposes the lab's shared policy-sweep engine.
+func (l *Lab) Engine() *sweep.Engine { return l.engine }
 
 // calibOptions derives the lab's calibration settings. The tolerance sits
 // above the measurement noise of the profiling runs so that conditions
@@ -101,6 +110,7 @@ func (l *Lab) calibOptions() calib.Options {
 		Replications: 3,
 		Tolerance:    0.025,
 		Seed:         l.Scale.Seed + 101,
+		Engine:       l.engine,
 	}
 }
 
@@ -116,6 +126,7 @@ func (l *Lab) hybridOptions() core.HybridOptions {
 		SimQueries: l.Scale.SimQueries,
 		SimReps:    l.Scale.SimReps,
 		Seed:       l.Scale.Seed + 13,
+		Engine:     l.engine,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/stats"
+	"mdsprint/internal/sweep"
 	"mdsprint/internal/workload"
 )
 
@@ -29,27 +30,39 @@ type MMKResult struct {
 	MedianError float64
 }
 
-// MMKValidation sweeps utilization against the closed form.
+// MMKValidation sweeps utilization against the closed form. The whole
+// sweep goes through the lab's sweep engine as one batch; a single
+// replication is bit-identical to a direct queuesim run.
 func MMKValidation(lab *Lab) MMKResult {
 	var res MMKResult
 	mu := 0.05
 	n := lab.Scale.SimQueries * 10
-	var errs []float64
-	for _, rho := range []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95} {
-		p := queuesim.Params{
-			ArrivalRate: rho * mu,
-			Service:     dist.NewExponential(mu),
-			ServiceRate: mu,
-			Timeout:     -1,
-			NumQueries:  n,
-			Warmup:      n / 10,
-			Seed:        lab.Scale.Seed + 71,
+	rhos := []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95}
+	tasks := make([]sweep.Task, len(rhos))
+	for i, rho := range rhos {
+		tasks[i] = sweep.Task{
+			Params: queuesim.Params{
+				ArrivalRate: rho * mu,
+				Service:     dist.NewExponential(mu),
+				ServiceRate: mu,
+				Timeout:     -1,
+				NumQueries:  n,
+				Warmup:      n / 10,
+				Seed:        lab.Scale.Seed + 71,
+			},
+			Reps: 1,
 		}
-		sim := queuesim.MustRun(p).MeanRT()
-		analytic := 1 / (mu - p.ArrivalRate)
-		e := math.Abs(sim-analytic) / analytic
+	}
+	sims, err := lab.Engine().MeanRTs(tasks)
+	if err != nil {
+		panic(err)
+	}
+	var errs []float64
+	for i, rho := range rhos {
+		analytic := 1 / (mu - rho*mu)
+		e := math.Abs(sims[i]-analytic) / analytic
 		errs = append(errs, e)
-		res.Rows = append(res.Rows, MMKRow{Rho: rho, Analytic: analytic, Simulated: sim, RelError: e})
+		res.Rows = append(res.Rows, MMKRow{Rho: rho, Analytic: analytic, Simulated: sims[i], RelError: e})
 	}
 	res.MedianError = stats.Median(errs)
 	return res

@@ -81,8 +81,12 @@ type Result struct {
 	// Best point found and its expected response time.
 	Point []float64
 	RT    float64
-	// Evaluations counts objective calls.
+	// Evaluations counts objective calls. Speculative counts the subset
+	// a batched search evaluated ahead of an acceptance and then
+	// discarded (always zero for the serial search); the consumed work
+	// Evaluations - Speculative is identical for every cohort size.
 	Evaluations int
+	Speculative int
 	// Trace holds the accepted-state history.
 	Trace []Step
 }
@@ -121,6 +125,18 @@ func Minimize(obj Objective, space Space, opts Options) (Result, error) {
 		}
 		cand[d] += (r.Float64()*2 - 1) * space.NeighborRange[d]
 		cand[d] = clamp(cand[d], space.Lo[d], space.Hi[d])
+		if math.Float64bits(cand[d]) == math.Float64bits(cur[d]) {
+			// The proposal clamped back onto the incumbent: there is no
+			// move to score, and Equation 5 on a zero delta would
+			// re-accept the incumbent with probability one — burning an
+			// evaluation and an acceptance draw and padding the trace
+			// with phantom steps whenever the search sits on a bound.
+			// Reject it outright; the schedule still advances.
+			if (i+1)%100 == 0 {
+				z *= o.ZDecayPer100
+			}
+			continue
+		}
 		candRT := obj(cand)
 		res.Evaluations++
 		// Step 3: accept improvements; accept regressions with

@@ -32,6 +32,8 @@ func DefaultConfig() *Config {
 			"internal/forest",
 			"internal/dist",
 			"internal/calib",
+			"internal/explore",
+			"internal/sweep",
 		},
 		FloatEqAllow: []string{
 			"internal/stats.ApproxEqual",

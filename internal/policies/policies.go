@@ -23,6 +23,7 @@ import (
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/stats"
+	"mdsprint/internal/sweep"
 )
 
 // Context fixes the workload conditions (everything except the timeout/
@@ -41,6 +42,9 @@ type Context struct {
 	SimQueries int
 	SimReps    int
 	Seed       uint64
+	// Engine evaluates the model simulations; nil uses sweep.Shared(),
+	// so settings revisited across baselines are memoized.
+	Engine *sweep.Engine
 }
 
 func (c Context) withDefaults() Context {
@@ -193,7 +197,10 @@ func ExpectedRT(c Context, s Setting, sprintRate float64) float64 {
 			rate = cap
 		}
 	}
-	pred, err := queuesim.Predict(simParams(cc, s.Timeout, s.BudgetPct, rate), cc.SimReps, 1)
+	pred, err := sweep.Or(cc.Engine).Evaluate(sweep.Task{
+		Params: simParams(cc, s.Timeout, s.BudgetPct, rate),
+		Reps:   cc.SimReps,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("policies: %v", err))
 	}

@@ -96,6 +96,14 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// Canonical returns p with the simulator's defaults applied — the normal
+// form under which two Params values configure the same simulation. A
+// zero Slots and an explicit Slots=1 canonicalize identically, as do a
+// zero and an explicit default NumQueries and an empty and an explicit
+// exponential ArrivalKind. internal/sweep fingerprints Canonical()
+// output so equivalent spellings memoize to one cache entry.
+func (p Params) Canonical() Params { return p.withDefaults() }
+
 func (p Params) validate() error {
 	if p.ArrivalRate <= 0 || math.IsNaN(p.ArrivalRate) {
 		return fmt.Errorf("queuesim: arrival rate %v must be positive", p.ArrivalRate)

@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"testing"
+
+	"mdsprint/internal/obs"
+)
+
+// benchGrid is the fig10 grid at its default (quick) scale: 36 policy
+// points, 2 replications each. BENCH_sweep.json records these numbers;
+// regenerate with `make bench-sweep`.
+func benchGrid() []Task { return DefaultGrid().Tasks() }
+
+// BenchmarkSweepSerial evaluates the grid on one worker with memoization
+// off — the pre-engine baseline every consumer used to pay per sweep.
+func BenchmarkSweepSerial(b *testing.B) {
+	tasks := benchGrid()
+	for i := 0; i < b.N; i++ {
+		e := New(Options{Workers: 1, CacheSize: -1, Metrics: obs.NewRegistry()})
+		if _, err := e.EvaluateAll(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSharded evaluates the grid on 4 workers, memoization off,
+// isolating the worker-pool speedup (≈linear in physical cores; on a
+// single-CPU host it measures pure sharding overhead instead).
+func BenchmarkSweepSharded(b *testing.B) {
+	tasks := benchGrid()
+	for i := 0; i < b.N; i++ {
+		e := New(Options{Workers: 4, CacheSize: -1, Metrics: obs.NewRegistry()})
+		if _, err := e.EvaluateAll(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCached re-sweeps the grid against a warm cache — the
+// annealing/packing steady state, where nearly every proposal has been
+// scored before. Reports the measured hit rate.
+func BenchmarkSweepCached(b *testing.B) {
+	tasks := benchGrid()
+	e := New(Options{Workers: 4, Metrics: obs.NewRegistry()})
+	if _, err := e.EvaluateAll(tasks); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvaluateAll(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(e.Stats().HitRate(), "hit-rate")
+}

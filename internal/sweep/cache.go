@@ -1,0 +1,70 @@
+package sweep
+
+import (
+	"container/list"
+	"sync"
+
+	"mdsprint/internal/queuesim"
+)
+
+// entry is one memoized (or in-flight) evaluation. ready is closed when
+// pred/err are final; waiters arriving while a computation is in flight
+// block on it instead of duplicating the work (single-flight).
+type entry struct {
+	key   Key
+	ready chan struct{}
+	pred  queuesim.Prediction
+	err   error
+}
+
+// cache is a concurrency-safe, size-bounded LRU of completed evaluations.
+// The list front is most-recently used; lookups promote, inserts evict
+// from the back once the bound is exceeded. Evicting an in-flight entry
+// is safe: the computation finishes and its waiters are served, the
+// result just isn't retained.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[Key]*list.Element
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, ll: list.New(), items: make(map[Key]*list.Element, max)}
+}
+
+// getOrStart returns the entry for key and whether the caller owns the
+// computation. owner=true means the entry is a fresh placeholder the
+// caller must fill via finish(); owner=false means another goroutine is
+// (or was) computing it — wait on entry.ready.
+func (c *cache) getOrStart(key Key) (e *entry, owner bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry), false, 0
+	}
+	e = &entry{key: key, ready: make(chan struct{})}
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		evicted++
+	}
+	return e, true, evicted
+}
+
+// finish publishes the owner's result and wakes all waiters.
+func (e *entry) finish(pred queuesim.Prediction, err error) {
+	e.pred = pred
+	e.err = err
+	close(e.ready)
+}
+
+// len returns the number of retained entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"mdsprint/internal/dist"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sprint"
+)
+
+// GridSpec describes a Figure-10-style policy grid: the cross product of
+// utilization, timeout and budget levels at fixed service/sprint rates.
+// The experiment packages sweep grids like this to study prediction error
+// by factor; the benchmarks and determinism tests in this package use the
+// same shape so their workload is representative.
+type GridSpec struct {
+	// ServiceRate and SprintRate are mu and mu_m in queries/second.
+	ServiceRate float64
+	SprintRate  float64
+	// Utilizations are arrival rates as fractions of ServiceRate.
+	Utilizations []float64
+	// Timeouts are sprint timeouts in seconds; RefillTime is the budget
+	// refill window; BudgetPcts are budgets as fractions of one window.
+	Timeouts   []float64
+	RefillTime float64
+	BudgetPcts []float64
+	// NumQueries and Reps size each evaluation; Seed seeds point 0, and
+	// successive points derive decorrelated seeds from it.
+	NumQueries int
+	Reps       int
+	Seed       uint64
+}
+
+// DefaultGrid returns a quick-scale fig10 grid: 4 utilizations x 3
+// timeouts x 3 budgets = 36 points at the paper's centroid levels.
+func DefaultGrid() GridSpec {
+	return GridSpec{
+		ServiceRate:  1.0 / 90, // 40 qph, the paper's hi/low service split point
+		SprintRate:   1.0 / 30,
+		Utilizations: []float64{0.30, 0.50, 0.75, 0.95},
+		Timeouts:     []float64{50, 100, 160},
+		RefillTime:   500,
+		BudgetPcts:   []float64{0.20, 0.40, 0.80},
+		NumQueries:   400,
+		Reps:         2,
+		Seed:         1,
+	}
+}
+
+// seedGamma decorrelates per-point seeds (the golden-ratio increment the
+// simulator itself uses for per-replication streams).
+const seedGamma = 0x9e3779b97f4a7c15
+
+// Tasks expands the grid's cross product into engine tasks in
+// deterministic order (utilization outermost, budget innermost).
+func (g GridSpec) Tasks() []Task {
+	out := make([]Task, 0, len(g.Utilizations)*len(g.Timeouts)*len(g.BudgetPcts))
+	for _, u := range g.Utilizations {
+		for _, to := range g.Timeouts {
+			for _, b := range g.BudgetPcts {
+				p := queuesim.Params{
+					ArrivalRate:   u * g.ServiceRate,
+					Service:       dist.NewExponential(g.ServiceRate),
+					ServiceRate:   g.ServiceRate,
+					SprintRate:    g.SprintRate,
+					Timeout:       to,
+					BudgetSeconds: sprint.BudgetFromPercent(b, g.RefillTime),
+					RefillTime:    g.RefillTime,
+					NumQueries:    g.NumQueries,
+					Seed:          g.Seed + uint64(len(out))*seedGamma,
+				}
+				out = append(out, Task{Params: p, Reps: g.Reps})
+			}
+		}
+	}
+	return out
+}

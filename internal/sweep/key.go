@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/queuesim"
+)
+
+// Key is a 128-bit fingerprint of one (Params, Reps) evaluation point.
+// Keys are derived from a canonical byte encoding of every field that
+// influences the simulation's output, so two tasks with equal keys are
+// guaranteed (up to FNV-128 collisions) to produce bit-identical
+// predictions, and any semantic change to a task changes its key.
+type Key [16]byte
+
+// String renders the key as hex for logs and test failure messages.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// appendFloat appends v's exact IEEE-754 bit pattern.
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendUint appends a 64-bit integer field.
+func appendUint(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// appendString appends a length-prefixed string so adjacent fields can
+// never alias across the boundary.
+func appendString(b []byte, s string) []byte {
+	b = appendUint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Fingerprint computes the memoization key for evaluating p with reps
+// pooled replications. The encoding covers the canonicalized Params
+// (defaults applied, arrival distribution resolved) plus reps; Tracer and
+// Clock are deliberately excluded — they observe a run without changing
+// its measured response times. Distributions without a canonical encoding
+// (types outside internal/dist's catalog) return an error, which the
+// engine treats as "uncacheable" rather than risking a collision.
+func Fingerprint(p queuesim.Params, reps int) (Key, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	c := p.Canonical()
+	arrival := c.Arrival
+	if arrival == nil {
+		// Run derives the arrival process from (ArrivalKind,
+		// ArrivalRate) when none is given; resolving it here makes the
+		// explicit and the derived spelling of the same process hash
+		// identically. Mirror queuesim's validation rather than
+		// panicking inside dist.ForRate on garbage input.
+		if c.ArrivalRate <= 0 || math.IsNaN(c.ArrivalRate) {
+			return Key{}, fmt.Errorf("sweep: arrival rate %v must be positive", c.ArrivalRate)
+		}
+		arrival = dist.ForRate(c.ArrivalKind, c.ArrivalRate)
+	}
+	if c.Service == nil {
+		return Key{}, fmt.Errorf("sweep: service distribution required")
+	}
+	b := make([]byte, 0, 256)
+	b = appendString(b, "mdsprint/sweep/v1")
+	b = appendFloat(b, c.ArrivalRate)
+	var err error
+	if b, err = dist.AppendCanon(b, arrival); err != nil {
+		return Key{}, err
+	}
+	if b, err = dist.AppendCanon(b, c.Service); err != nil {
+		return Key{}, err
+	}
+	b = appendFloat(b, c.ServiceRate)
+	b = appendFloat(b, c.SprintRate)
+	b = appendFloat(b, c.Timeout)
+	b = appendFloat(b, c.BudgetSeconds)
+	b = appendFloat(b, c.RefillTime)
+	b = appendUint(b, uint64(c.Refill))
+	b = appendUint(b, uint64(c.Slots))
+	b = appendUint(b, uint64(c.NumQueries))
+	b = appendUint(b, uint64(c.Warmup))
+	b = appendUint(b, c.Seed)
+	b = appendUint(b, uint64(reps))
+
+	h := fnv.New128a()
+	// hash.Hash.Write never returns an error.
+	//lint:ignore errdrop fnv's Write is documented to never fail
+	h.Write(b)
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}

@@ -1,0 +1,317 @@
+// Package sweep is the shared policy-space evaluation engine behind every
+// loop in this repository that replays the timeout-aware queue simulator
+// at scale: the simulated-annealing timeout search (Section 4.2), policy
+// comparisons against the big-burst/small-burst/Few-to-Many/Adrenaline
+// heuristics (Section 4.3), burstable-instance packing (Section 4.4), the
+// calibration bisection (Section 2.3), and the experiment grid sweeps
+// (Figures 10-11, simulator validation).
+//
+// The engine does two things for those callers:
+//
+//   - Sharding: EvaluateAll/EvaluateAsync spread a batch of independent
+//     (Params, Reps) evaluations across a bounded worker pool. Each task
+//     carries its own RNG seed and each result lands at its task's index,
+//     so batch output is bit-for-bit identical to the serial order
+//     regardless of worker count.
+//   - Memoization: completed evaluations are cached in a concurrency-safe
+//     LRU keyed by a canonical fingerprint of (Params, Reps). Policy
+//     searches revisit points constantly — annealing re-proposes nearby
+//     timeouts, packing re-scores baseline plans per workload, bisection
+//     re-evaluates bracket edges — and a hit returns the memoized
+//     prediction without touching the simulator. In-flight evaluations
+//     are single-flight: concurrent requests for one key run it once.
+//
+// Because the simulator is a deterministic function of its canonicalized
+// parameters (enforced by sprintlint's nondeterm analyzer and the
+// differential tests in this package), memoization is semantically
+// invisible: a cached sweep reproduces an uncached sweep exactly.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mdsprint/internal/obs"
+	"mdsprint/internal/queuesim"
+)
+
+// Task is one evaluation point: a simulator configuration plus the number
+// of pooled replications (Predict semantics; 0 means 1).
+type Task struct {
+	Params queuesim.Params
+	Reps   int
+}
+
+// DefaultCacheSize bounds the memoization LRU when Options.CacheSize is
+// zero. Entries hold a Key and a Prediction (a few floats), so the
+// default retains a large sweep's worth of points in well under a
+// megabyte.
+const DefaultCacheSize = 4096
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds batch concurrency (0 means NumCPU).
+	Workers int
+	// CacheSize is the maximum number of memoized evaluations (0 means
+	// DefaultCacheSize; negative disables memoization entirely, which
+	// the throughput experiments use to time honest evaluations).
+	CacheSize int
+	// Metrics receives the engine's counters and gauges; nil records
+	// into obs.Default().
+	Metrics *obs.Registry
+}
+
+// Engine evaluates batches of simulator tasks on a worker pool with
+// memoization. Engines are safe for concurrent use.
+type Engine struct {
+	workers int
+	cache   *cache // nil when memoization is disabled
+
+	tasks     atomic.Uint64
+	evals     atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	bypasses  atomic.Uint64
+	evictions atomic.Uint64
+
+	m engineMetrics
+}
+
+// engineMetrics are the obs-registry handles mirrored by the engine's
+// local counters (local counters make per-engine tests independent of the
+// shared registry).
+type engineMetrics struct {
+	tasks, evals     *obs.Counter
+	hits, misses     *obs.Counter
+	bypasses, evicts *obs.Counter
+	entries          *obs.Gauge
+	batches          *obs.Counter
+	batchTasks       *obs.Histogram
+}
+
+// New returns an engine with the given options.
+func New(o Options) *Engine {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	size := o.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	e := &Engine{workers: workers}
+	if size > 0 {
+		e.cache = newCache(size)
+	}
+	reg := obs.Or(o.Metrics)
+	e.m = engineMetrics{
+		tasks:      reg.Counter("mdsprint_sweep_tasks_total", "evaluation tasks submitted to the sweep engine"),
+		evals:      reg.Counter("mdsprint_sweep_evals_total", "simulator evaluations actually executed (misses + bypasses)"),
+		hits:       reg.Counter("mdsprint_sweep_cache_hits_total", "tasks served from the memoization cache"),
+		misses:     reg.Counter("mdsprint_sweep_cache_misses_total", "tasks that had to run the simulator and were cached"),
+		bypasses:   reg.Counter("mdsprint_sweep_cache_bypass_total", "tasks evaluated uncached (tracer/clock attached, unfingerprintable, or cache disabled)"),
+		evicts:     reg.Counter("mdsprint_sweep_cache_evictions_total", "memoized evaluations evicted by the LRU bound"),
+		entries:    reg.Gauge("mdsprint_sweep_cache_entries", "memoized evaluations currently retained"),
+		batches:    reg.Counter("mdsprint_sweep_batches_total", "EvaluateAll/EvaluateAsync batches started"),
+		batchTasks: reg.Histogram("mdsprint_sweep_batch_tasks", "tasks per sweep batch", 0),
+	}
+	return e
+}
+
+// Workers returns the engine's worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+var (
+	sharedOnce sync.Once
+	sharedEng  *Engine
+)
+
+// Shared returns the process-wide engine the internal packages use when
+// no explicit engine is supplied. Sharing one engine means the
+// calibration search, the policy planners and the experiment sweeps all
+// memoize into one pool, so work one layer spends is visible to the
+// others.
+func Shared() *Engine {
+	sharedOnce.Do(func() { sharedEng = New(Options{}) })
+	return sharedEng
+}
+
+// Or returns e, or the shared engine when e is nil — the helper consumer
+// packages use to resolve an optional Engine field.
+func Or(e *Engine) *Engine {
+	if e != nil {
+		return e
+	}
+	return Shared()
+}
+
+// Stats is a point-in-time snapshot of one engine's counters.
+type Stats struct {
+	// Tasks is every evaluation request; Evals counts the subset that
+	// actually ran the simulator (misses plus bypasses).
+	Tasks, Evals uint64
+	// Hits, Misses and Bypasses partition cacheable traffic; Evictions
+	// counts LRU displacements; Entries is the current cache size.
+	Hits, Misses, Bypasses, Evictions uint64
+	Entries                           int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any cacheable
+// traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Tasks:     e.tasks.Load(),
+		Evals:     e.evals.Load(),
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Bypasses:  e.bypasses.Load(),
+		Evictions: e.evictions.Load(),
+	}
+	if e.cache != nil {
+		s.Entries = e.cache.len()
+	}
+	return s
+}
+
+// Evaluate runs (or recalls) one task. Tasks whose Params carry a Tracer
+// or a Clock bypass the cache: a memoized recall would silently skip
+// their side effects (lifecycle events, timed metrics), so observed runs
+// are always executed.
+func (e *Engine) Evaluate(t Task) (queuesim.Prediction, error) {
+	e.tasks.Add(1)
+	e.m.tasks.Inc()
+	reps := t.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	if e.cache == nil || t.Params.Tracer != nil || t.Params.Clock != nil {
+		return e.bypass(t.Params, reps)
+	}
+	key, err := Fingerprint(t.Params, reps)
+	if err != nil {
+		// Unfingerprintable (custom distribution type) or invalid:
+		// evaluate uncached and let Predict report the authoritative
+		// validation error.
+		return e.bypass(t.Params, reps)
+	}
+	en, owner, evicted := e.cache.getOrStart(key)
+	if evicted > 0 {
+		e.evictions.Add(uint64(evicted))
+		e.m.evicts.Add(float64(evicted))
+	}
+	if owner {
+		e.misses.Add(1)
+		e.m.misses.Inc()
+		e.evals.Add(1)
+		e.m.evals.Inc()
+		pred, err := queuesim.Predict(t.Params, reps, 1)
+		en.finish(pred, err)
+		e.m.entries.Set(float64(e.cache.len()))
+		return pred, err
+	}
+	e.hits.Add(1)
+	e.m.hits.Inc()
+	<-en.ready
+	return en.pred, en.err
+}
+
+// bypass evaluates uncached.
+func (e *Engine) bypass(p queuesim.Params, reps int) (queuesim.Prediction, error) {
+	e.bypasses.Add(1)
+	e.m.bypasses.Inc()
+	e.evals.Add(1)
+	e.m.evals.Inc()
+	return queuesim.Predict(p, reps, 1)
+}
+
+// Batch is an in-flight EvaluateAsync result.
+type Batch struct {
+	preds []queuesim.Prediction
+	errs  []error
+	done  chan struct{}
+}
+
+// Wait blocks until every task finished and returns the predictions in
+// task order. The error (if any) is the lowest-indexed task's, so a
+// failing batch reports deterministically regardless of scheduling; the
+// returned slice is still fully populated for the tasks that succeeded.
+func (b *Batch) Wait() ([]queuesim.Prediction, error) {
+	<-b.done
+	for i, err := range b.errs {
+		if err != nil {
+			return b.preds, fmt.Errorf("sweep: task %d: %w", i, err)
+		}
+	}
+	return b.preds, nil
+}
+
+// EvaluateAsync shards the batch across the worker pool and returns
+// immediately; collect with Wait. Each replication inside a task runs
+// serially (queuesim.Predict with one worker) so parallelism lives at
+// task granularity and a task's result never depends on pool size.
+func (e *Engine) EvaluateAsync(tasks []Task) *Batch {
+	e.m.batches.Inc()
+	e.m.batchTasks.Observe(float64(len(tasks)))
+	b := &Batch{
+		preds: make([]queuesim.Prediction, len(tasks)),
+		errs:  make([]error, len(tasks)),
+		done:  make(chan struct{}),
+	}
+	workers := e.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				b.preds[i], b.errs[i] = e.Evaluate(tasks[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range tasks {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		close(b.done)
+	}()
+	return b
+}
+
+// EvaluateAll evaluates the batch and blocks for the results.
+func (e *Engine) EvaluateAll(tasks []Task) ([]queuesim.Prediction, error) {
+	return e.EvaluateAsync(tasks).Wait()
+}
+
+// MeanRTs is EvaluateAll reduced to each task's mean response time — the
+// shape policy searches score candidates with.
+func (e *Engine) MeanRTs(tasks []Task) ([]float64, error) {
+	preds, err := e.EvaluateAll(tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = p.MeanRT
+	}
+	return out, nil
+}
