@@ -50,7 +50,9 @@ cover:
 	}; \
 	check ./internal/sweep 90; \
 	check ./internal/queuesim 91; \
-	check ./internal/explore 95
+	check ./internal/explore 95; \
+	check ./internal/fault 90; \
+	check ./internal/online 90
 
 # The experiments suite runs ~2 minutes without the race detector; the
 # detector's 5-10x slowdown overruns go test's default 10m binary
@@ -65,6 +67,14 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDist$$' -fuzztime 10s ./internal/dist
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadEvents$$' -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzRateEstimator$$' -fuzztime 10s ./internal/online
+
+# chaos replays every built-in fault-injection scenario against the
+# graceful-degradation controller and fails if any scripted expectation
+# (deepest level reached, level settled at) is violated.
+.PHONY: chaos
+chaos:
+	$(GO) run ./cmd/sprintctl -quiet chaos -all
 
 .PHONY: bench-obs
 bench-obs:

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdsprint/internal/fault"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/online"
+)
+
+// chaosReport is one scenario's replay as written to -out: the scripted
+// expectations, the decision timeline and the determinism fingerprint.
+type chaosReport struct {
+	Scenario    string             `json:"scenario"`
+	Desc        string             `json:"desc"`
+	Seed        uint64             `json:"seed"`
+	Fingerprint string             `json:"fingerprint"`
+	MaxLevel    string             `json:"max_level"`
+	EndLevel    string             `json:"end_level"`
+	Demotions   int                `json:"demotions"`
+	Promotions  int                `json:"promotions"`
+	Violations  []string           `json:"violations,omitempty"`
+	Steps       []online.ChaosStep `json:"steps"`
+}
+
+// cmdChaos replays fault-injection scenarios against the degradation
+// controller and verifies each scenario's scripted expectations. A
+// canceled ctx (SIGINT/SIGTERM) stops between scenarios; whatever
+// completed is still flushed to -out and -metrics-out.
+func cmdChaos(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	name := fs.String("scenario", "", "scenario to replay (see -list)")
+	all := fs.Bool("all", false, "replay every built-in scenario")
+	list := fs.Bool("list", false, "list built-in scenarios and exit")
+	seed := fs.Uint64("seed", 0, "override the scenario's seed (0 keeps the scripted one)")
+	out := fs.String("out", "", "write the replay timelines as JSON to this path")
+	metricsOut := fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Println("chaos scenarios:")
+		for _, sc := range fault.Scenarios() {
+			fmt.Printf("  %-18s %3d steps  %s\n", sc.Name, sc.Steps(), sc.Desc)
+		}
+		return nil
+	}
+
+	var scenarios []fault.Scenario
+	switch {
+	case *all && *name != "":
+		return fmt.Errorf("chaos: -all and -scenario are mutually exclusive")
+	case *all:
+		scenarios = fault.Scenarios()
+	case *name != "":
+		sc, err := fault.ScenarioByName(*name)
+		if err != nil {
+			return err
+		}
+		scenarios = []fault.Scenario{sc}
+	default:
+		return fmt.Errorf("chaos: need -scenario <name>, -all or -list")
+	}
+
+	// Flush partial results even on an interrupt: the deferred writers
+	// run whether the loop finishes or the signal context breaks it.
+	var reports []chaosReport
+	defer func() {
+		if *out != "" && len(reports) > 0 {
+			if err := writeChaosReports(*out, reports); err != nil {
+				logg.Errorf("chaos: writing %s: %v", *out, err)
+			} else {
+				logg.Infof("chaos: %d replay timeline(s) written to %s", len(reports), *out)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeMetricsSnapshot(*metricsOut); err != nil {
+				logg.Errorf("chaos: writing %s: %v", *metricsOut, err)
+			} else {
+				logg.Infof("chaos: metrics snapshot written to %s", *metricsOut)
+			}
+		}
+	}()
+
+	var failed []string
+	for _, sc := range scenarios {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("chaos: interrupted after %d/%d scenario(s); partial results flushed: %w",
+				len(reports), len(scenarios), err)
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		res, err := online.RunChaos(sc, online.ChaosOptions{Metrics: obs.Default()})
+		if err != nil {
+			return fmt.Errorf("chaos: %s: %w", sc.Name, err)
+		}
+		viol := res.Violations(sc)
+		reports = append(reports, chaosReport{
+			Scenario:    sc.Name,
+			Desc:        sc.Desc,
+			Seed:        sc.Seed,
+			Fingerprint: res.Fingerprint(),
+			MaxLevel:    res.MaxLevel.String(),
+			EndLevel:    res.EndLevel.String(),
+			Demotions:   res.Demotions,
+			Promotions:  res.Promotions,
+			Violations:  viol,
+			Steps:       res.Steps,
+		})
+		verdict := "ok"
+		if len(viol) > 0 {
+			verdict = "FAIL"
+			failed = append(failed, sc.Name)
+		}
+		fmt.Printf("%-18s %4d steps  max %-7s end %-7s demotions %d promotions %d  fp %s  %s\n",
+			sc.Name, len(res.Steps), res.MaxLevel, res.EndLevel, res.Demotions, res.Promotions,
+			res.Fingerprint(), verdict)
+		for _, v := range viol {
+			fmt.Printf("    violation: %s\n", v)
+		}
+		logg.Debugf("chaos: %s timeline: %s", sc.Name, timelineSummary(res))
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("chaos: %d scenario(s) violated expectations: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// timelineSummary compresses a replay into a per-phase level trace for
+// verbose narration.
+func timelineSummary(res *online.ChaosResult) string {
+	var sb strings.Builder
+	lastPhase := ""
+	for _, s := range res.Steps {
+		if s.Phase != lastPhase {
+			if lastPhase != "" {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(s.Phase)
+			sb.WriteString(":")
+			lastPhase = s.Phase
+		}
+		sb.WriteString(" ")
+		sb.WriteString(s.Level.String()[:1])
+	}
+	return sb.String()
+}
+
+// writeChaosReports persists the replay timelines as indented JSON.
+func writeChaosReports(path string, reports []chaosReport) error {
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeMetricsSnapshot flushes the default registry (fault-injection and
+// degradation counters included) as Prometheus text.
+func writeMetricsSnapshot(path string) error {
+	var sb strings.Builder
+	if err := obs.Default().WritePrometheus(&sb); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdsprint/internal/fault"
+)
+
+func TestCmdChaosAllWritesReports(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "chaos.json")
+	mout := filepath.Join(dir, "chaos.prom")
+	if err := cmdChaos(context.Background(), []string{"-all", "-out", out, "-metrics-out", mout}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []chaosReport
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(fault.Scenarios()) {
+		t.Fatalf("%d reports, want %d", len(reports), len(fault.Scenarios()))
+	}
+	for _, r := range reports {
+		if len(r.Violations) > 0 {
+			t.Errorf("%s violated expectations: %v", r.Scenario, r.Violations)
+		}
+		if len(r.Steps) == 0 || r.Fingerprint == "" {
+			t.Errorf("%s report is missing its timeline or fingerprint", r.Scenario)
+		}
+	}
+	prom, err := os.ReadFile(mout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "mdsprint_fault_") {
+		t.Error("metrics snapshot has no fault-injection counters")
+	}
+}
+
+func TestCmdChaosRejectsBadFlags(t *testing.T) {
+	if err := cmdChaos(context.Background(), []string{"-scenario", "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := cmdChaos(context.Background(), []string{"-all", "-scenario", "baseline"}); err == nil {
+		t.Error("-all with -scenario accepted")
+	}
+	if err := cmdChaos(context.Background(), nil); err == nil {
+		t.Error("no selection accepted")
+	}
+}
+
+func TestCmdChaosInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := cmdChaos(ctx, []string{"-all"})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want an interruption report", err)
+	}
+}

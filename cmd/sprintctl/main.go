@@ -11,6 +11,10 @@
 //	    anneal the timeout space for the lowest expected response time
 //	sprintctl colocate -combo 1
 //	    plan burstable-instance colocation for a Figure 13 combo
+//	sprintctl chaos -scenario model-divergence [-out timeline.json]
+//	    replay a fault-injection scenario against the degradation
+//	    controller and verify its scripted expectations (-chaos <name>
+//	    is a global shorthand; 'chaos -list' enumerates scenarios)
 //
 // Profiling writes a JSON dataset; predict/explore train the hybrid model
 // from it on the fly.
@@ -29,13 +33,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime/debug"
 	"strings"
+	"syscall"
 
 	"mdsprint/internal/calib"
 	"mdsprint/internal/colocate"
@@ -73,6 +80,7 @@ func run(args []string) int {
 	quiet := globals.Bool("quiet", false, "suppress progress output (errors only)")
 	verbose := globals.Bool("v", false, "verbose progress output")
 	showVersion := globals.Bool("version", false, "print version and exit")
+	chaosName := globals.String("chaos", "", "replay the named chaos scenario and exit ('all' runs every builtin); shorthand for the chaos command")
 	globals.Usage = usage
 	if err := globals.Parse(args); err != nil {
 		return 2
@@ -98,6 +106,24 @@ func run(args []string) int {
 		}
 	}
 
+	// A clean SIGINT/SIGTERM shutdown: long-running commands watch this
+	// context and flush whatever metrics and trace output they have
+	// accumulated before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *chaosName != "" {
+		chaosArgs := []string{"-scenario", *chaosName}
+		if *chaosName == "all" {
+			chaosArgs = []string{"-all"}
+		}
+		if err := cmdChaos(ctx, chaosArgs); err != nil {
+			fmt.Fprintf(os.Stderr, "sprintctl: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	rest := globals.Args()
 	if len(rest) == 0 {
 		usage()
@@ -115,6 +141,8 @@ func run(args []string) int {
 		err = cmdExplore(rest[1:])
 	case "colocate":
 		err = cmdColocate(rest[1:])
+	case "chaos":
+		err = cmdChaos(ctx, rest[1:])
 	case "version":
 		fmt.Println(versionString())
 	case "help", "-h", "--help":
@@ -164,7 +192,8 @@ func startDebugServer(addr string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|colocate> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|colocate|chaos> [flags]")
+	fmt.Fprintln(os.Stderr, "       sprintctl -chaos <scenario|all>")
 	fmt.Fprintln(os.Stderr, "       sprintctl -version")
 	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")
 }

@@ -49,7 +49,7 @@ func main() {
 	// A non-stationary arrival stream: 40% utilization, then a shift to
 	// 85% halfway through. The controller only ever sees the
 	// estimator's noisy view.
-	est := online.NewRateEstimator(3600, 0.9)
+	est := online.MustRateEstimator(3600, 0.9)
 	rng := dist.NewRNG(51)
 	phases := []struct {
 		name string

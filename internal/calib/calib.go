@@ -17,12 +17,14 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"mdsprint/internal/dist"
+	"mdsprint/internal/fault"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
@@ -56,6 +58,17 @@ type Options struct {
 	// simulator evaluations, convergence); nil records into
 	// obs.Default().
 	Metrics *obs.Registry
+	// Breaker, when set, circuit-breaks the per-record search: an open
+	// breaker degrades the record to the prediction-free marginal rate
+	// (mu_e = mu_m, no simulation), and each completed search reports
+	// success or — when the achieved relative error exceeds
+	// DivergentRelError — a divergent-fit failure. Consecutive divergent
+	// fits trip the breaker, so a misbehaving profiler stops burning
+	// simulator time.
+	Breaker *fault.Breaker
+	// DivergentRelError is the achieved relative error above which a fit
+	// counts as divergent for the breaker (default 0.5).
+	DivergentRelError float64
 }
 
 // calibMetrics resolves the calibration instrumentation handles.
@@ -64,6 +77,7 @@ type calibMetrics struct {
 	evals     *obs.Counter
 	converged *obs.Counter
 	relError  *obs.Histogram
+	degraded  *obs.Counter
 }
 
 func (o Options) metrics() calibMetrics {
@@ -73,6 +87,7 @@ func (o Options) metrics() calibMetrics {
 		evals:     reg.Counter("mdsprint_calib_sim_evals_total", "queue-simulator evaluations spent calibrating"),
 		converged: reg.Counter("mdsprint_calib_converged_total", "calibrations that met the tolerance"),
 		relError:  reg.Histogram("mdsprint_calib_rel_error", "achieved |simRT-obsRT|/obsRT per record", 0),
+		degraded:  reg.Counter("mdsprint_calib_degraded_total", "records degraded to mu_m (open breaker or failed simulation)"),
 	}
 }
 
@@ -94,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = runtime.NumCPU()
+	}
+	if o.DivergentRelError <= 0 {
+		o.DivergentRelError = 0.5
 	}
 	return o
 }
@@ -150,20 +168,30 @@ func simParams(ds *profiler.Dataset, obs profiler.Observation, rate float64, o O
 	}
 }
 
-// SimulateRT evaluates the queue simulator's mean response time for one
-// observation at the given sprint rate, with common random numbers.
+// SimulateRTErr evaluates the queue simulator's mean response time for
+// one observation at the given sprint rate, with common random numbers.
 // Evaluations route through the sweep engine, so re-visited rates come
 // from the memoization cache instead of re-simulating.
-func SimulateRT(ds *profiler.Dataset, obs profiler.Observation, rate float64, o Options) float64 {
+func SimulateRTErr(ds *profiler.Dataset, obs profiler.Observation, rate float64, o Options) (float64, error) {
 	o = o.withDefaults()
 	pred, err := sweep.Or(o.Engine).Evaluate(sweep.Task{
 		Params: simParams(ds, obs, rate, o),
 		Reps:   o.Replications,
 	})
 	if err != nil {
-		panic(fmt.Sprintf("calib: simulate: %v", err))
+		return 0, fmt.Errorf("calib: simulate: %w", err)
 	}
-	return pred.MeanRT
+	return pred.MeanRT, nil
+}
+
+// SimulateRT is SimulateRTErr for callers with no error channel; it
+// panics if the simulation fails (Must semantics).
+func SimulateRT(ds *profiler.Dataset, obs profiler.Observation, rate float64, o Options) float64 {
+	rt, err := SimulateRTErr(ds, obs, rate, o)
+	if err != nil {
+		panic(err.Error())
+	}
+	return rt
 }
 
 // EffectiveRate finds mu_e for one observation. It returns the calibrated
@@ -180,20 +208,52 @@ func EffectiveRate(ds *profiler.Dataset, obs profiler.Observation, opts Options)
 		MarginalRate: mum,
 		ObservedRT:   target,
 	}
-	evals := 0
-	eval := func(rate float64) float64 {
-		evals++
-		return SimulateRT(ds, obs, rate, o)
+	// An open breaker degrades immediately: the record falls back to the
+	// prediction-free marginal rate without spending simulator time.
+	if o.Breaker != nil && !o.Breaker.Allow() {
+		rec.EffectiveRate, rec.SimRT = mum, math.NaN()
+		m := o.metrics()
+		m.records.Inc()
+		m.degraded.Inc()
+		return rec
 	}
-	// Flush this record's instrumentation once, whichever path returns.
+	evals := 0
+	var evalErr error
+	eval := func(rate float64) float64 {
+		if evalErr != nil {
+			return math.NaN()
+		}
+		evals++
+		rt, err := SimulateRTErr(ds, obs, rate, o)
+		if err != nil {
+			evalErr = err
+			return math.NaN()
+		}
+		return rt
+	}
+	// Flush this record's instrumentation once, whichever path returns,
+	// degrade failed searches to mu_m, and report the fit to the breaker
+	// (a failed or divergent fit is a breaker failure).
 	defer func() {
 		m := o.metrics()
 		m.records.Inc()
 		m.evals.Add(float64(evals))
-		if relErr := rec.RelError(); !math.IsNaN(relErr) {
+		if evalErr != nil {
+			rec.EffectiveRate, rec.SimRT = mum, math.NaN()
+			m.degraded.Inc()
+		}
+		relErr := rec.RelError()
+		if !math.IsNaN(relErr) {
 			m.relError.Observe(relErr)
 			if relErr <= o.Tolerance {
 				m.converged.Inc()
+			}
+		}
+		if o.Breaker != nil {
+			if evalErr != nil || (!math.IsNaN(relErr) && relErr > o.DivergentRelError) {
+				o.Breaker.Failure()
+			} else {
+				o.Breaker.Success()
 			}
 		}
 	}()
@@ -278,6 +338,22 @@ func stepSearch(eval func(float64) float64, mu, mum, target float64, o Options) 
 
 // CalibrateDataset computes one Record per observation, in parallel.
 func CalibrateDataset(ds *profiler.Dataset, obs []profiler.Observation, opts Options) []Record {
+	recs, err := CalibrateDatasetCtx(context.Background(), ds, obs, opts)
+	if err != nil {
+		// Unreachable: the only error source is the context, and
+		// Background is never done.
+		panic(err.Error())
+	}
+	return recs
+}
+
+// CalibrateDatasetCtx is CalibrateDataset honoring cancellation: once
+// ctx is done, queued records are abandoned and ctx's error is
+// returned (records already simulating finish their point).
+func CalibrateDatasetCtx(ctx context.Context, ds *profiler.Dataset, obs []profiler.Observation, opts Options) ([]Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opts.withDefaults()
 	out := make([]Record, len(obs))
 	var wg sync.WaitGroup
@@ -288,11 +364,17 @@ func CalibrateDataset(ds *profiler.Dataset, obs []profiler.Observation, opts Opt
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			oi := o
 			oi.Seed = o.Seed + uint64(i)*0x9e3779b97f4a7c15
 			out[i] = EffectiveRate(ds, obs[i], oi)
 		}(i)
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	return out, nil
 }

@@ -1,0 +1,40 @@
+package colocate
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestPackCtxPreCanceled(t *testing.T) {
+	ws := []Workload{jacobiWorkload(0.6), jacobiWorkload(0.8)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PackCtx(ctx, ws, BudgetPlannerCtx(testEst, 600))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFillNodeCtxPreCanceled(t *testing.T) {
+	ws := []Workload{jacobiWorkload(0.6)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := FillNodeCtx(ctx, ws, SprintPlannerCtx(testEst, 12, 3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPackCtxBackgroundMatchesLegacy(t *testing.T) {
+	ws := []Workload{jacobiWorkload(0.5), jacobiWorkload(0.7)}
+	a, err := PackCtx(context.Background(), ws, BudgetPlannerCtx(testEst, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Pack(ws, BudgetPlanner(testEst, 600))
+	if a.Hosted() != b.Hosted() || len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("ctx pack (%d hosted, %d nodes) != legacy (%d hosted, %d nodes)",
+			a.Hosted(), len(a.Nodes), b.Hosted(), len(b.Nodes))
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"mdsprint/internal/ann"
 	"mdsprint/internal/calib"
 	"mdsprint/internal/dist"
+	"mdsprint/internal/fault"
 	"mdsprint/internal/forest"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
@@ -421,6 +422,11 @@ type HybridOptions struct {
 	// events. Both may be nil.
 	Metrics *obs.Registry
 	Tracer  obs.QueryTracer
+	// Breaker circuit-breaks the calibration searches (threaded into
+	// Calib when Calib.Breaker is unset): consecutive divergent mu_e
+	// fits trip it and later records degrade to mu_m instead of burning
+	// simulator time on a misbehaving profile. May be nil.
+	Breaker *fault.Breaker
 }
 
 // TrainHybrid calibrates effective sprint rates for every training
@@ -435,6 +441,9 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 	}
 	if copts.Engine == nil {
 		copts.Engine = o.Engine
+	}
+	if copts.Breaker == nil {
+		copts.Breaker = o.Breaker
 	}
 	var samples []forest.Sample
 	var records []calib.Record

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,6 +57,18 @@ type proposal struct {
 // searches walk different trajectories for the same seed; equivalence
 // holds within MinimizeBatch across cohort sizes.
 func MinimizeBatch(obj BatchObjective, space Space, opts BatchOptions) (Result, error) {
+	return MinimizeBatchCtx(context.Background(), obj, space, opts)
+}
+
+// MinimizeBatchCtx is MinimizeBatch honoring cancellation: the context
+// is checked before every objective call (the cohort boundary), so a
+// deadline or cancel stops the search between cohorts with ctx's error.
+// Cancellation never perturbs determinism — a run that completes under
+// a context walks the same trajectory as one without.
+func MinimizeBatchCtx(ctx context.Context, obj BatchObjective, space Space, opts BatchOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := space.validate(); err != nil {
 		return Result{}, err
 	}
@@ -69,6 +82,9 @@ func MinimizeBatch(obj BatchObjective, space Space, opts BatchOptions) (Result, 
 	cur := make([]float64, dims)
 	for d := range cur {
 		cur[d] = space.Lo[d] + propose.Float64()*(space.Hi[d]-space.Lo[d])
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("explore: %w", err)
 	}
 	vals, err := callBatch(obj, [][]float64{cur})
 	if err != nil {
@@ -134,6 +150,9 @@ func MinimizeBatch(obj BatchObjective, space Space, opts BatchOptions) (Result, 
 		}
 		var rts []float64
 		if len(pts) > 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("explore: %w", err)
+			}
 			if rts, err = callBatch(obj, pts); err != nil {
 				return Result{}, err
 			}
@@ -195,12 +214,18 @@ func callBatch(obj BatchObjective, pts [][]float64) ([]float64, error) {
 // the timeout alone over [lo, hi] with the +-100 s neighbour window,
 // scoring cohorts of candidate timeouts per call.
 func MinimizeTimeoutBatch(obj func(timeouts []float64) ([]float64, error), lo, hi float64, opts BatchOptions) (Result, error) {
+	return MinimizeTimeoutBatchCtx(context.Background(), obj, lo, hi, opts)
+}
+
+// MinimizeTimeoutBatchCtx is MinimizeTimeoutBatch honoring cancellation
+// (see MinimizeBatchCtx).
+func MinimizeTimeoutBatchCtx(ctx context.Context, obj func(timeouts []float64) ([]float64, error), lo, hi float64, opts BatchOptions) (Result, error) {
 	space := Space{
 		Lo:            []float64{lo},
 		Hi:            []float64{hi},
 		NeighborRange: []float64{100},
 	}
-	return MinimizeBatch(func(pts [][]float64) ([]float64, error) {
+	return MinimizeBatchCtx(ctx, func(pts [][]float64) ([]float64, error) {
 		ts := make([]float64, len(pts))
 		for i, p := range pts {
 			ts[i] = p[0]

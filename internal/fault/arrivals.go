@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"math"
+
+	"mdsprint/internal/obs"
+)
+
+// ArrivalFaultConfig configures an ArrivalFaults injector.
+type ArrivalFaultConfig struct {
+	// Seed drives the per-arrival fault decisions.
+	Seed uint64
+	// BurstProb is the per-arrival probability of injecting a burst of
+	// BurstSize extra arrivals immediately after it.
+	BurstProb float64
+	// BurstSize is how many arrivals each burst injects (default 4).
+	BurstSize int
+	// BurstSpacing is the gap in seconds between injected burst
+	// arrivals (default 0.02).
+	BurstSpacing float64
+	// DriftPerArrival compounds a relative stretch (+) or compression
+	// (−) onto each successive inter-arrival gap, modelling a slowly
+	// drifting true rate that the estimator must track.
+	DriftPerArrival float64
+	// Metrics receives the injector's counters; nil records into
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// ArrivalFaults perturbs an arrival-timestamp stream with bursts and
+// rate drift before it reaches online.RateEstimator. The injector is
+// stateful — drift compounds and fault decisions are keyed by a running
+// arrival index — so one injector instance can perturb a stream
+// delivered across many Perturb calls and still be deterministic. Not
+// safe for concurrent use (neither is the estimator it feeds).
+type ArrivalFaults struct {
+	cfg   ArrivalFaultConfig
+	seen  uint64  // arrivals processed so far, the determinism key
+	drift float64 // compounded gap scale
+	last  float64 // last emitted timestamp
+	begun bool
+
+	bursts   *obs.Counter
+	injected *obs.Counter
+}
+
+// NewArrivalFaults returns an injector for one arrival stream.
+func NewArrivalFaults(cfg ArrivalFaultConfig) *ArrivalFaults {
+	if cfg.BurstSize <= 0 {
+		cfg.BurstSize = 4
+	}
+	if cfg.BurstSpacing <= 0 {
+		cfg.BurstSpacing = 0.02
+	}
+	reg := obs.Or(cfg.Metrics)
+	return &ArrivalFaults{
+		cfg:      cfg,
+		drift:    1,
+		bursts:   reg.Counter("mdsprint_fault_bursts_total", "arrival bursts injected"),
+		injected: reg.Counter("mdsprint_fault_burst_arrivals_total", "extra arrivals injected by bursts"),
+	}
+}
+
+// Perturb applies drift and burst injection to a batch of ascending
+// arrival timestamps and returns the perturbed batch, still ascending.
+// Drift rescales each inter-arrival gap by the compounded factor;
+// bursts append BurstSize closely spaced arrivals after the triggering
+// one.
+func (f *ArrivalFaults) Perturb(times []float64) []float64 {
+	out := make([]float64, 0, len(times))
+	for _, t := range times {
+		rng := itemRNG(f.cfg.Seed, chanArrivals, f.seen)
+		f.seen++
+		if !f.begun {
+			f.begun = true
+			f.last = t
+		} else {
+			gap := t - f.last
+			if gap < 0 {
+				gap = 0
+			}
+			//lint:ignore floateq exact zero is the drift-disabled sentinel; any nonzero drift must compound
+			if f.cfg.DriftPerArrival != 0 {
+				f.drift *= 1 + f.cfg.DriftPerArrival
+				// Keep the compounded scale in a sane band so long
+				// streams cannot drive gaps to zero or infinity.
+				f.drift = math.Min(math.Max(f.drift, 0.1), 10)
+			}
+			f.last += gap * f.drift
+		}
+		out = append(out, f.last)
+		if f.cfg.BurstProb > 0 && rng.Float64() < f.cfg.BurstProb {
+			f.bursts.Inc()
+			for j := 0; j < f.cfg.BurstSize; j++ {
+				f.last += f.cfg.BurstSpacing
+				out = append(out, f.last)
+				f.injected.Inc()
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"sync"
+
+	"mdsprint/internal/obs"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states: Closed passes calls through, Open rejects them, and
+// HalfOpen admits probes to test whether the protected call recovered.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String names the state for logs and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// BreakerConfig configures a Breaker. The breaker is counted in calls,
+// not wall time, so it stays deterministic inside the simulation
+// packages: an open breaker denies CooldownCalls attempts, then half
+// opens.
+type BreakerConfig struct {
+	// Name labels the breaker in its state gauge's help text and in
+	// errors; default "breaker".
+	Name string
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// open (default 3).
+	FailureThreshold int
+	// CooldownCalls is how many Allow calls an open breaker rejects
+	// before probing half-open (default 8).
+	CooldownCalls int
+	// HalfOpenSuccesses is how many consecutive probe successes close a
+	// half-open breaker again (default 2).
+	HalfOpenSuccesses int
+	// Metrics receives the breaker's counters; nil records into
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Name == "" {
+		c.Name = "breaker"
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.CooldownCalls <= 0 {
+		c.CooldownCalls = 8
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	return c
+}
+
+// Breaker is a call-counted circuit breaker guarding an expensive or
+// failure-prone operation (the calib bisection, the explore retune).
+// Closed → Open after FailureThreshold consecutive failures; Open
+// rejects CooldownCalls attempts, then HalfOpen admits probes; a probe
+// failure re-opens, HalfOpenSuccesses consecutive probe successes
+// close. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed
+	denied   int // rejections while open
+	probeOK  int // consecutive successes while half-open
+
+	trips      *obs.Counter
+	rejections *obs.Counter
+	stateGauge *obs.Gauge
+}
+
+// NewBreaker returns a closed breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	reg := obs.Or(cfg.Metrics)
+	b := &Breaker{
+		cfg:        cfg,
+		trips:      reg.Counter("mdsprint_fault_breaker_trips_total", "circuit-breaker transitions to open"),
+		rejections: reg.Counter("mdsprint_fault_breaker_rejections_total", "calls rejected by an open circuit breaker"),
+		stateGauge: reg.Gauge("mdsprint_fault_breaker_state", "circuit-breaker state (0 closed, 1 open, 2 half-open): "+cfg.Name),
+	}
+	b.stateGauge.Set(float64(Closed))
+	return b
+}
+
+// Allow reports whether the caller may attempt the protected operation.
+// While open it counts the denial; after CooldownCalls denials the
+// breaker half-opens and admits the next call as a probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		b.denied++
+		b.rejections.Inc()
+		if b.denied >= b.cfg.CooldownCalls {
+			b.setState(HalfOpen)
+		}
+		return false
+	}
+}
+
+// Success records a successful protected call.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenSuccesses {
+			b.setState(Closed)
+		}
+	}
+}
+
+// Failure records a failed protected call; enough consecutive failures
+// (or any half-open probe failure) open the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.trips.Inc()
+	b.setState(Open)
+}
+
+// setState transitions and resets the counters the new state uses.
+// Callers hold b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	b.failures = 0
+	b.denied = 0
+	b.probeOK = 0
+	b.stateGauge.Set(float64(s))
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

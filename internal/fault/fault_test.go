@@ -1,0 +1,382 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mdsprint/internal/obs"
+	"mdsprint/internal/sweep"
+)
+
+func TestItemRNGIndependentOfOrder(t *testing.T) {
+	// The determinism backbone: item i's stream depends only on
+	// (seed, channel, i), never on how many other items were drawn.
+	forward := make([]float64, 8)
+	for i := range forward {
+		forward[i] = itemRNG(42, chanSamples, uint64(i)).Float64()
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if got := itemRNG(42, chanSamples, uint64(i)).Float64(); got != forward[i] {
+			t.Fatalf("item %d drew %v forward, %v backward", i, forward[i], got)
+		}
+	}
+	// Distinct channels must decorrelate.
+	if itemRNG(42, chanSamples, 0).Float64() == itemRNG(42, chanArrivals, 0).Float64() {
+		t.Fatal("channels share a stream")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBreaker(BreakerConfig{
+		Name: "test", FailureThreshold: 2, CooldownCalls: 3, HalfOpenSuccesses: 2,
+		Metrics: reg,
+	})
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// A success resets the consecutive-failure count.
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("tripped below the failure threshold")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("did not trip at the failure threshold")
+	}
+	// Open: exactly CooldownCalls denials, then half-open.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker allowed call %d", i)
+		}
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %s after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker must admit probes")
+	}
+	// A probe failure re-opens immediately.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("probe failure did not re-open")
+	}
+	for i := 0; i < 3; i++ {
+		b.Allow()
+	}
+	b.Success()
+	if b.State() != Closed {
+		b.Success()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %s after probe successes, want closed", b.State())
+	}
+	if got := reg.Counter("mdsprint_fault_breaker_trips_total", "").Value(); got < 2 {
+		t.Fatalf("trips counter %v, want >= 2", got)
+	}
+	if got := reg.Counter("mdsprint_fault_breaker_rejections_total", "").Value(); got < 6 {
+		t.Fatalf("rejections counter %v, want >= 6", got)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for _, tc := range []struct {
+		s    BreakerState
+		want string
+	}{
+		{Closed, "closed"}, {Open, "open"}, {HalfOpen, "half-open"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.s), got, tc.want)
+		}
+	}
+}
+
+func TestSampleFaultsDeterministicAndBounded(t *testing.T) {
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = 1.0
+	}
+	f := SampleFaults{Seed: 9, DropRate: 0.3, CorruptRate: 0.2, CorruptFactor: 4, Metrics: obs.NewRegistry()}
+	a := f.Apply(samples)
+	b := f.Apply(samples)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 0 {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == len(samples) || len(a) == 0 {
+		t.Fatalf("drop rate 0.3 kept %d of %d", len(a), len(samples))
+	}
+	corrupted := 0
+	for _, s := range a {
+		if s < 0.25-1e-12 || s > 4+1e-12 {
+			t.Fatalf("corrupted sample %v outside [1/4, 4]", s)
+		}
+		if s < 0.999 || s > 1.001 {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("corrupt rate 0.2 corrupted nothing")
+	}
+	// The input must be untouched.
+	for i, s := range samples {
+		if s < 1 || s > 1 {
+			t.Fatalf("input sample %d modified to %v", i, s)
+		}
+	}
+}
+
+func TestSampleFaultsNeverReturnsEmpty(t *testing.T) {
+	f := SampleFaults{Seed: 3, DropRate: 1.0, Metrics: obs.NewRegistry()}
+	out := f.Apply([]float64{7, 8, 9})
+	if len(out) != 1 || out[0] < 7 || out[0] > 7 {
+		t.Fatalf("all-drop output %v, want the first sample kept", out)
+	}
+	if got := f.Apply(nil); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+}
+
+func TestArrivalFaultsDeterministicAcrossBatching(t *testing.T) {
+	// One stream delivered whole must equal the same stream delivered in
+	// arbitrary batch splits: fault decisions key on the running arrival
+	// index, not the Perturb call boundaries.
+	times := make([]float64, 200)
+	for i := range times {
+		times[i] = float64(i) * 0.5
+	}
+	cfg := ArrivalFaultConfig{Seed: 77, BurstProb: 0.1, BurstSize: 3, DriftPerArrival: 0.002, Metrics: obs.NewRegistry()}
+	whole := NewArrivalFaults(cfg).Perturb(times)
+	split := NewArrivalFaults(cfg)
+	var pieced []float64
+	for lo := 0; lo < len(times); lo += 7 {
+		hi := lo + 7
+		if hi > len(times) {
+			hi = len(times)
+		}
+		pieced = append(pieced, split.Perturb(times[lo:hi])...)
+	}
+	if len(whole) != len(pieced) {
+		t.Fatalf("batched replay length %d vs %d", len(pieced), len(whole))
+	}
+	for i := range whole {
+		if math.Abs(whole[i]-pieced[i]) > 0 {
+			t.Fatalf("batched replay diverged at %d: %v vs %v", i, pieced[i], whole[i])
+		}
+	}
+	if len(whole) <= len(times) {
+		t.Fatalf("burst prob 0.1 injected nothing (%d arrivals out)", len(whole))
+	}
+	for i := 1; i < len(whole); i++ {
+		if whole[i] < whole[i-1] {
+			t.Fatalf("output not ascending at %d: %v < %v", i, whole[i], whole[i-1])
+		}
+	}
+}
+
+func TestArrivalFaultsDriftClamped(t *testing.T) {
+	f := NewArrivalFaults(ArrivalFaultConfig{Seed: 5, DriftPerArrival: 0.5, Metrics: obs.NewRegistry()})
+	times := make([]float64, 100)
+	for i := range times {
+		times[i] = float64(i)
+	}
+	out := f.Perturb(times)
+	// Compounded 1.5x per arrival would overflow without the clamp; with
+	// it the last gap is at most 10x the input gap.
+	lastGap := out[len(out)-1] - out[len(out)-2]
+	if lastGap > 10+1e-9 {
+		t.Fatalf("drift gap %v, want clamped to <= 10", lastGap)
+	}
+	neg := NewArrivalFaults(ArrivalFaultConfig{Seed: 5, DriftPerArrival: -0.5, Metrics: obs.NewRegistry()})
+	out = neg.Perturb(times)
+	lastGap = out[len(out)-1] - out[len(out)-2]
+	if lastGap < 0.1-1e-9 {
+		t.Fatalf("compression gap %v, want clamped to >= 0.1", lastGap)
+	}
+}
+
+func TestSweepHookDeterministicPerIndex(t *testing.T) {
+	cfg := SweepFaultConfig{Seed: 13, ErrProb: 0.3, Metrics: obs.NewRegistry()}
+	hook := cfg.Hook()
+	verdicts := make([]bool, 100)
+	for i := range verdicts {
+		verdicts[i] = hook(i, sweep.Task{}) != nil
+	}
+	// Replay in reverse order: same per-index verdicts.
+	rehook := cfg.Hook()
+	for i := len(verdicts) - 1; i >= 0; i-- {
+		if got := rehook(i, sweep.Task{}) != nil; got != verdicts[i] {
+			t.Fatalf("task %d verdict changed across call order", i)
+		}
+	}
+	errs := 0
+	for _, v := range verdicts {
+		if v {
+			errs++
+		}
+	}
+	if errs == 0 || errs == len(verdicts) {
+		t.Fatalf("error prob 0.3 produced %d/100 errors", errs)
+	}
+}
+
+func TestSweepHookPanicNamesTask(t *testing.T) {
+	hook := SweepFaultConfig{Seed: 2, PanicProb: 1, Metrics: obs.NewRegistry()}.Hook()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected an injected panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "task 7") {
+			t.Fatalf("panic %v does not name the task", r)
+		}
+	}()
+	// The hook must never return from a panic fault.
+	if err := hook(7, sweep.Task{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepHookDelay(t *testing.T) {
+	reg := obs.NewRegistry()
+	hook := SweepFaultConfig{Seed: 2, DelayProb: 1, Delay: time.Millisecond, Metrics: reg}.Hook()
+	if err := hook(0, sweep.Task{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mdsprint_fault_sweep_delays_total", "").Value(); got < 1 {
+		t.Fatalf("delay counter %v, want >= 1", got)
+	}
+}
+
+// stubTransport records how many requests reached the "upstream".
+type stubTransport struct{ calls int }
+
+func (s *stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.calls++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader("ok")),
+		Request:    req,
+	}, nil
+}
+
+func TestRoundTripperInjectsScriptedFaults(t *testing.T) {
+	base := &stubTransport{}
+	reg := obs.NewRegistry()
+	rt := NewRoundTripper(base, HTTPFaultConfig{Seed: 31, DropProb: 0.3, ErrorProb: 0.3, Metrics: reg})
+	req, err := http.NewRequest(http.MethodGet, "http://example.invalid/q", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drops, fives, oks int
+	for i := 0; i < 200; i++ {
+		resp, err := rt.RoundTrip(req)
+		switch {
+		case err != nil:
+			if !strings.Contains(err.Error(), "injected connection drop") {
+				t.Fatalf("unexpected transport error: %v", err)
+			}
+			drops++
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			fives++
+			if cerr := resp.Body.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+		default:
+			oks++
+			if cerr := resp.Body.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+		}
+	}
+	if drops == 0 || fives == 0 || oks == 0 {
+		t.Fatalf("fault mix drops=%d fives=%d oks=%d, want all three", drops, fives, oks)
+	}
+	// Dropped and injected-5xx requests must never reach the upstream.
+	if base.calls != oks {
+		t.Fatalf("upstream saw %d calls, want %d (faulted requests must not leak)", base.calls, oks)
+	}
+	if got := reg.Counter("mdsprint_fault_http_drops_total", "").Value(); int(got) != drops {
+		t.Fatalf("drop counter %v, want %d", got, drops)
+	}
+}
+
+func TestRoundTripperDefaultBase(t *testing.T) {
+	rt := NewRoundTripper(nil, HTTPFaultConfig{Seed: 1, DropProb: 1, Metrics: obs.NewRegistry()})
+	req, err := http.NewRequest(http.MethodGet, "http://example.invalid/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DropProb 1 faults before the default transport would dial out.
+	if _, rerr := rt.RoundTrip(req); rerr == nil {
+		t.Fatal("expected an injected drop")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 4 {
+		t.Fatalf("only %d built-in scenarios", len(scs))
+	}
+	for i := 1; i < len(scs); i++ {
+		if scs[i-1].Name >= scs[i].Name {
+			t.Fatalf("registry not in name order: %q before %q", scs[i-1].Name, scs[i].Name)
+		}
+	}
+	for _, sc := range scs {
+		if sc.Steps() <= 0 {
+			t.Errorf("scenario %q has no steps", sc.Name)
+		}
+		got, err := ScenarioByName(sc.Name)
+		if err != nil || got.Seed != sc.Seed {
+			t.Errorf("ScenarioByName(%q) = %+v, %v", sc.Name, got, err)
+		}
+	}
+	if _, err := ScenarioByName("no-such-script"); err == nil {
+		t.Fatal("expected an error for an unknown scenario")
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	scs[0].Seed = 999999
+	if again, err := ScenarioByName(scs[0].Name); err != nil || again.Seed == 999999 {
+		t.Fatal("Scenarios() exposed the registry's backing array")
+	}
+}
+
+func TestScenarioExpectLevelsInRange(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if sc.Expect.MaxLevel < LevelHybridIdx || sc.Expect.MaxLevel > LevelStaticIdx ||
+			sc.Expect.EndLevel < LevelHybridIdx || sc.Expect.EndLevel > LevelStaticIdx {
+			t.Errorf("scenario %q expectation out of range: %+v", sc.Name, sc.Expect)
+		}
+		if sc.Expect.EndLevel > sc.Expect.MaxLevel {
+			t.Errorf("scenario %q ends deeper than its max: %+v", sc.Name, sc.Expect)
+		}
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+func TestSweepHookErrorMentionsFault(t *testing.T) {
+	hook := SweepFaultConfig{Seed: 4, ErrProb: 1, Metrics: obs.NewRegistry()}.Hook()
+	err := hook(3, sweep.Task{})
+	if err == nil || !strings.Contains(err.Error(), "fault: injected error at task 3") {
+		t.Fatalf("err = %v, want an injected-error message naming task 3", err)
+	}
+	if errors.Is(err, errSentinel) {
+		t.Fatal("injected errors must not alias caller sentinels")
+	}
+	_ = fmt.Sprintf("%v", err)
+}

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"math"
+
+	"mdsprint/internal/obs"
+)
+
+// SampleFaults perturbs profiler measurement streams: each sample is
+// independently dropped with probability DropRate, and each survivor is
+// corrupted (scaled by a log-uniform factor) with probability
+// CorruptRate. Decisions are keyed by sample index, so the schedule is a
+// pure function of (Seed, index) and identical across runs.
+type SampleFaults struct {
+	// Seed drives the per-sample fault decisions.
+	Seed uint64
+	// DropRate is the probability a sample is silently lost.
+	DropRate float64
+	// CorruptRate is the probability a surviving sample is distorted.
+	CorruptRate float64
+	// CorruptFactor bounds the distortion: corrupted samples are scaled
+	// by a log-uniform factor in [1/CorruptFactor, CorruptFactor]
+	// (default 10).
+	CorruptFactor float64
+	// Metrics receives the injector's counters; nil records into
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// Apply returns a new slice with the faults applied; the input is not
+// modified. If every sample would be dropped, the first is kept so
+// downstream estimators never see an empty measurement set.
+func (f SampleFaults) Apply(samples []float64) []float64 {
+	reg := obs.Or(f.Metrics)
+	dropped := reg.Counter("mdsprint_fault_samples_dropped_total", "profiler samples dropped by injection")
+	corrupted := reg.Counter("mdsprint_fault_samples_corrupted_total", "profiler samples corrupted by injection")
+	factor := f.CorruptFactor
+	if factor <= 1 {
+		factor = 10
+	}
+	out := make([]float64, 0, len(samples))
+	for i, s := range samples {
+		rng := itemRNG(f.Seed, chanSamples, uint64(i))
+		if f.DropRate > 0 && rng.Float64() < f.DropRate {
+			dropped.Inc()
+			continue
+		}
+		if f.CorruptRate > 0 && rng.Float64() < f.CorruptRate {
+			// Log-uniform in [1/factor, factor]: symmetric in the
+			// multiplicative sense, so corruption biases neither up
+			// nor down on average.
+			s *= math.Exp((2*rng.Float64() - 1) * math.Log(factor))
+			corrupted.Inc()
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 && len(samples) > 0 {
+		out = append(out, samples[0])
+	}
+	return out
+}

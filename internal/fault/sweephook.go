@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"mdsprint/internal/obs"
+	"mdsprint/internal/sweep"
+)
+
+// SweepFaultConfig scripts error, panic, and latency injection into
+// sweep-engine batch tasks. Decisions are keyed by task index, so the
+// same config faults the same tasks regardless of worker count or
+// scheduling order — a batch's fault schedule is reproducible
+// bit-for-bit from the seed.
+type SweepFaultConfig struct {
+	// Seed drives the per-task fault decisions.
+	Seed uint64
+	// ErrProb is the probability a task fails with an injected error.
+	ErrProb float64
+	// PanicProb is the probability a task panics (the engine must
+	// recover it; see sweep.Options.TaskHook).
+	PanicProb float64
+	// DelayProb and Delay inject latency spikes into tasks.
+	DelayProb float64
+	Delay     time.Duration
+	// Metrics receives the injector's counters; nil records into
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// Hook returns a sweep.TaskHook implementing the scripted faults. The
+// hook sleeps for Delay on a latency fault, panics on a panic fault,
+// and returns an error on an error fault; the decision order is fixed
+// (delay, then panic, then error) so schedules stay stable as
+// probabilities change.
+func (c SweepFaultConfig) Hook() sweep.TaskHook {
+	reg := obs.Or(c.Metrics)
+	delays := reg.Counter("mdsprint_fault_sweep_delays_total", "latency spikes injected into sweep tasks")
+	panics := reg.Counter("mdsprint_fault_sweep_panics_total", "panics injected into sweep tasks")
+	errs := reg.Counter("mdsprint_fault_sweep_errors_total", "errors injected into sweep tasks")
+	return func(i int, _ sweep.Task) error {
+		rng := itemRNG(c.Seed, chanSweep, uint64(i))
+		// Draw all three decisions unconditionally so a task's fate for
+		// one fault class does not depend on the other classes' odds.
+		delay := c.DelayProb > 0 && rng.Float64() < c.DelayProb
+		pan := c.PanicProb > 0 && rng.Float64() < c.PanicProb
+		fail := c.ErrProb > 0 && rng.Float64() < c.ErrProb
+		if delay {
+			delays.Inc()
+			time.Sleep(c.Delay)
+		}
+		if pan {
+			panics.Inc()
+			panic(fmt.Sprintf("fault: injected panic at task %d", i))
+		}
+		if fail {
+			errs.Inc()
+			return fmt.Errorf("fault: injected error at task %d", i)
+		}
+		return nil
+	}
+}

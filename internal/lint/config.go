@@ -19,6 +19,10 @@ type Config struct {
 	// DocPackages lists packages whose exported identifiers must carry
 	// doc comments.
 	DocPackages []string
+	// CtxPackages lists concurrency-bearing packages where ctxleak
+	// forbids spawning goroutines from functions that take no
+	// context.Context (callers would have no cancellation path).
+	CtxPackages []string
 }
 
 // DefaultConfig returns the policy for this repository.
@@ -34,6 +38,9 @@ func DefaultConfig() *Config {
 			"internal/calib",
 			"internal/explore",
 			"internal/sweep",
+			// Chaos replays are fingerprinted: same seed, same timeline.
+			"internal/fault",
+			"internal/online",
 		},
 		FloatEqAllow: []string{
 			"internal/stats.ApproxEqual",
@@ -49,5 +56,18 @@ func DefaultConfig() *Config {
 			"(*bytes.Buffer).Write*",
 		},
 		DocPackages: []string{"."},
+		// The packages that fan work out to goroutines: anything they
+		// spawn must be cancelable by the caller.
+		CtxPackages: []string{
+			"internal/sweep",
+			"internal/calib",
+			"internal/explore",
+			"internal/colocate",
+			"internal/httpharness",
+			"internal/profiler",
+			"internal/queuesim",
+			"internal/online",
+			"internal/fault",
+		},
 	}
 }

@@ -108,6 +108,7 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		LockCopy,
 		ExportedDoc,
+		CtxLeak,
 	}
 }
 

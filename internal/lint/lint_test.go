@@ -17,6 +17,7 @@ func fixtureConfig() *Config {
 	return &Config{
 		DeterministicPackages: []string{"."},
 		DocPackages:           []string{"."},
+		CtxPackages:           []string{"."},
 	}
 }
 
@@ -30,6 +31,7 @@ var fixtureAnalyzers = map[string][]string{
 	"errdrop":     {"errdrop"},
 	"lockcopy":    {"lockcopy-lite"},
 	"exporteddoc": {"exporteddoc"},
+	"ctxleak":     {"ctxleak"},
 	"clean":       {},
 	"suppressed":  {},
 	"badsuppress": {"lint", "floateq"},

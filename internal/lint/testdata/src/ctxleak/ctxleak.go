@@ -1,0 +1,41 @@
+// Package ctxleak spawns goroutines with and without a cancellation path.
+package ctxleak
+
+import (
+	"context"
+	"sync"
+)
+
+func leaky(n int) { // no ctx: both spawns below are flagged
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	go func() {}()
+	wg.Wait()
+}
+
+func cancelable(ctx context.Context, n int) { // has ctx: clean
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func forkJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:ignore ctxleak bounded fork-join; the worker always finishes before return
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+func plain(n int) int { return n + 1 } // no goroutines: clean

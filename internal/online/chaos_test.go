@@ -1,0 +1,97 @@
+package online
+
+import (
+	"testing"
+
+	"mdsprint/internal/fault"
+	"mdsprint/internal/obs"
+)
+
+// runScenario replays one built-in scenario against a fresh registry (so
+// runs are isolated under -shuffle=on).
+func runScenario(t *testing.T, name string) *ChaosResult {
+	t.Helper()
+	sc, err := fault.ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunChaos(sc, ChaosOptions{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestChaosScenariosMeetExpectations(t *testing.T) {
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := runScenario(t, sc.Name)
+			if len(res.Steps) != sc.Steps() {
+				t.Fatalf("replayed %d steps, scenario declares %d", len(res.Steps), sc.Steps())
+			}
+			for _, v := range res.Violations(sc) {
+				t.Errorf("scenario %q: %s", sc.Name, v)
+			}
+			if t.Failed() {
+				t.Logf("timeline tail: %+v", res.Steps[len(res.Steps)-5:])
+			}
+		})
+	}
+}
+
+// TestChaosModelDivergenceDegradesAndRecovers is the ISSUE's headline
+// regression: under a fixed seed the model-divergence scenario must walk
+// the whole chain Hybrid → NoML → static and re-promote back to Hybrid
+// once the models behave again.
+func TestChaosModelDivergenceDegradesAndRecovers(t *testing.T) {
+	res := runScenario(t, "model-divergence")
+	if res.MaxLevel != LevelStatic {
+		t.Fatalf("max level %s, want static (the chain must bottom out)", res.MaxLevel)
+	}
+	if res.EndLevel != LevelHybrid {
+		t.Fatalf("end level %s, want hybrid (the chain must fully re-promote)", res.EndLevel)
+	}
+	if res.Demotions < 2 {
+		t.Fatalf("demotions %d, want >= 2 (hybrid->noml and noml->static)", res.Demotions)
+	}
+	if res.Promotions < 2 {
+		t.Fatalf("promotions %d, want >= 2 (static->noml and noml->hybrid)", res.Promotions)
+	}
+	// The walk must be ordered: hybrid before noml before static before
+	// the recovery back up.
+	sawNoML, sawStatic := -1, -1
+	for _, s := range res.Steps {
+		if sawNoML < 0 && s.Level == LevelNoML {
+			sawNoML = s.Step
+		}
+		if sawStatic < 0 && s.Level == LevelStatic {
+			sawStatic = s.Step
+		}
+	}
+	if sawNoML < 0 || sawStatic < 0 || sawNoML >= sawStatic {
+		t.Fatalf("degradation order broken: first noml step %d, first static step %d", sawNoML, sawStatic)
+	}
+}
+
+// TestChaosDeterministicFingerprints asserts the chaos contract: one
+// seed, one bit-identical decision timeline — replays may not disagree
+// in any level, timeout, estimate or observation.
+func TestChaosDeterministicFingerprints(t *testing.T) {
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a := runScenario(t, sc.Name)
+			b := runScenario(t, sc.Name)
+			if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+				t.Fatalf("replays diverged: %s vs %s", fa, fb)
+			}
+		})
+	}
+}
+
+func TestChaosRejectsEmptyScenario(t *testing.T) {
+	if _, err := RunChaos(fault.Scenario{Name: "empty"}, ChaosOptions{Metrics: obs.NewRegistry()}); err == nil {
+		t.Fatal("expected an error for a scenario with no phases")
+	}
+}

@@ -1,0 +1,253 @@
+package online
+
+import (
+	"fmt"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/fault"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/profiler"
+)
+
+// FallbackConfig builds a FallbackController.
+type FallbackConfig struct {
+	// Primary is the fully model-driven tier (typically core.Hybrid);
+	// Fallback is the prediction-free tier (typically core.NoML). Both
+	// are required.
+	Primary  core.Model
+	Fallback core.Model
+	// Dataset, Base, MaxTimeout, AnnealIter, Seed and RetuneThreshold
+	// configure the per-tier Controllers (see Controller).
+	Dataset         *profiler.Dataset
+	Base            profiler.Condition
+	MaxTimeout      float64
+	AnnealIter      int
+	Seed            uint64
+	RetuneThreshold float64
+	// Watchdog tunes the health windows (zero values take defaults).
+	Watchdog WatchdogConfig
+	// Breaker, when set, circuit-breaks the primary tier's annealing
+	// searches (see Controller.Breaker). May be nil.
+	Breaker *fault.Breaker
+	// Metrics receives level changes and residuals; nil records into
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// fallbackMetrics are the degradation-plane instrumentation handles.
+type fallbackMetrics struct {
+	level        *obs.Gauge
+	demotions    *obs.Counter
+	promotions   *obs.Counter
+	residual     *obs.Histogram
+	predictFails *obs.Counter
+	staticHolds  *obs.Counter
+}
+
+// FallbackController is the graceful-degradation control plane of the
+// paper's Section 5 challenge, shaped after SkipPredict's fall-back
+// reflex: drive timeouts with the primary model while it tracks
+// reality, demote one level at a time down the chain Hybrid → NoML →
+// last-known-good static timeout as prediction residuals decay, and
+// re-promote gradually (hysteresis) as a recovering tier proves itself
+// against live observations. It is not safe for concurrent use.
+type FallbackController struct {
+	cfg      FallbackConfig
+	primary  *Controller
+	fallback *Controller
+
+	level  Level
+	active *Watchdog // health of the tier currently in control
+	probe  *Watchdog // shadow health of the next-better tier
+
+	lastTO   float64
+	lastRate float64
+	haveTO   bool
+
+	lastGoodTO float64
+	haveGood   bool
+
+	demotions  int
+	promotions int
+
+	m fallbackMetrics
+}
+
+// NewFallbackController validates the config and returns a controller
+// starting at LevelHybrid.
+func NewFallbackController(cfg FallbackConfig) (*FallbackController, error) {
+	if cfg.Primary == nil || cfg.Fallback == nil {
+		return nil, fmt.Errorf("online: fallback controller needs both a primary and a fallback model")
+	}
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("online: fallback controller needs a dataset")
+	}
+	cfg.Watchdog = cfg.Watchdog.withDefaults()
+	reg := obs.Or(cfg.Metrics)
+	f := &FallbackController{
+		cfg: cfg,
+		primary: &Controller{
+			Model: cfg.Primary, Dataset: cfg.Dataset, Base: cfg.Base,
+			MaxTimeout: cfg.MaxTimeout, AnnealIter: cfg.AnnealIter,
+			Seed: cfg.Seed, RetuneThreshold: cfg.RetuneThreshold,
+			Metrics: cfg.Metrics, Breaker: cfg.Breaker,
+		},
+		fallback: &Controller{
+			Model: cfg.Fallback, Dataset: cfg.Dataset, Base: cfg.Base,
+			MaxTimeout: cfg.MaxTimeout, AnnealIter: cfg.AnnealIter,
+			Seed: cfg.Seed ^ 0xa5a5a5a55a5a5a5a, RetuneThreshold: cfg.RetuneThreshold,
+			Metrics: cfg.Metrics,
+		},
+		active: NewWatchdog(cfg.Watchdog),
+		probe:  NewWatchdog(cfg.Watchdog),
+		m: fallbackMetrics{
+			level:        reg.Gauge("mdsprint_online_level", "degradation level in force (0 hybrid, 1 noml, 2 static)"),
+			demotions:    reg.Counter("mdsprint_online_demotions_total", "fallback-chain demotions (model health lost)"),
+			promotions:   reg.Counter("mdsprint_online_promotions_total", "fallback-chain promotions (model health regained)"),
+			residual:     reg.Histogram("mdsprint_online_residual", "active tier's |predicted-observed|/observed residual", 0),
+			predictFails: reg.Counter("mdsprint_online_predict_failures_total", "model predictions that failed during health tracking"),
+			staticHolds:  reg.Counter("mdsprint_online_static_decisions_total", "decisions served from the last-known-good static timeout"),
+		},
+	}
+	f.m.level.Set(float64(f.level))
+	return f, nil
+}
+
+// Level returns the degradation level currently in force.
+func (f *FallbackController) Level() Level { return f.level }
+
+// Counts reports how many demotions and promotions have occurred.
+func (f *FallbackController) Counts() (demotions, promotions int) {
+	return f.demotions, f.promotions
+}
+
+// LastGoodTimeout returns the static-tier timeout, and whether one has
+// been banked yet.
+func (f *FallbackController) LastGoodTimeout() (float64, bool) {
+	return f.lastGoodTO, f.haveGood
+}
+
+// Timeout returns the sprint timeout for the estimated arrival rate,
+// routed through the level currently in force. A failing search is
+// itself a health signal: the controller demotes and retries down the
+// chain before giving up.
+func (f *FallbackController) Timeout(rate float64) (float64, error) {
+	to, err := f.timeoutAt(f.level, rate)
+	for err != nil && f.level < LevelStatic {
+		f.demote()
+		to, err = f.timeoutAt(f.level, rate)
+	}
+	if err != nil {
+		return 0, err
+	}
+	f.lastTO, f.lastRate, f.haveTO = to, rate, true
+	return to, nil
+}
+
+// timeoutAt computes the decision one level would make.
+func (f *FallbackController) timeoutAt(l Level, rate float64) (float64, error) {
+	switch l {
+	case LevelHybrid:
+		return f.primary.Timeout(rate)
+	case LevelNoML:
+		return f.fallback.Timeout(rate)
+	default:
+		if f.haveGood {
+			f.m.staticHolds.Inc()
+			return f.lastGoodTO, nil
+		}
+		// Nothing banked: the chain bottomed out before any healthy
+		// decision. The prediction-free tier is the only option left.
+		return f.fallback.Timeout(rate)
+	}
+}
+
+// model returns the model backing a (non-static) level.
+func (f *FallbackController) model(l Level) core.Model {
+	if l == LevelHybrid {
+		return f.cfg.Primary
+	}
+	return f.cfg.Fallback
+}
+
+// predictAt shadows a model's prediction for the decision in force.
+func (f *FallbackController) predictAt(m core.Model, rate float64) (core.Prediction, error) {
+	cond := f.cfg.Base
+	cond.Timeout = f.lastTO
+	return m.Predict(f.cfg.Dataset, core.Scenario{Cond: cond, ArrivalRate: rate})
+}
+
+// Observe feeds one observed mean response time (measured under the
+// last Timeout decision, at the currently estimated rate) into the
+// health watchdogs. This is where demotions and promotions happen.
+func (f *FallbackController) Observe(rate, observed float64) {
+	if !f.haveTO || rate <= 0 {
+		return
+	}
+	// Health of the tier in control. The static tier has no model to
+	// judge; its "health" is the probe below.
+	if f.level != LevelStatic {
+		pred, err := f.predictAt(f.model(f.level), rate)
+		if err != nil {
+			f.m.predictFails.Inc()
+			f.active.ObserveFailure()
+		} else {
+			f.active.Observe(pred.MeanRT, observed)
+			if observed > 0 {
+				f.m.residual.Observe(pred.MeanRT/observed - 1)
+			}
+		}
+		if f.active.ShouldDemote() {
+			f.demote()
+			return
+		}
+		// Bank the decision while the active model demonstrably tracks
+		// reality: this is the timeout the static tier will hold.
+		if f.active.Samples() >= f.cfg.Watchdog.MinSamples &&
+			f.active.MeanResidual() < f.cfg.Watchdog.PromoteThreshold {
+			f.lastGoodTO, f.haveGood = f.lastTO, true
+		}
+	}
+	// Shadow the next-better tier; sustained health re-promotes one
+	// level at a time.
+	if f.level > LevelHybrid {
+		better := f.model(f.level - 1)
+		pred, err := f.predictAt(better, rate)
+		if err != nil {
+			f.m.predictFails.Inc()
+			f.probe.ObserveFailure()
+		} else {
+			f.probe.Observe(pred.MeanRT, observed)
+		}
+		if f.probe.ShouldPromote() {
+			f.promote()
+		}
+	}
+}
+
+// demote climbs one level down the chain and restarts the evidence
+// windows.
+func (f *FallbackController) demote() {
+	if f.level >= LevelStatic {
+		return
+	}
+	f.level++
+	f.demotions++
+	f.m.demotions.Inc()
+	f.m.level.Set(float64(f.level))
+	f.active.Reset()
+	f.probe.Reset()
+}
+
+// promote climbs one level back up after sustained probe health.
+func (f *FallbackController) promote() {
+	if f.level <= LevelHybrid {
+		return
+	}
+	f.level--
+	f.promotions++
+	f.m.promotions.Inc()
+	f.m.level.Set(float64(f.level))
+	f.active.Reset()
+	f.probe.Reset()
+}

@@ -1,0 +1,38 @@
+package online
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRateEstimator throws hostile constructor arguments and arbitrary
+// timestamp streams (regressions, NaNs, infinities, denormals) at the
+// estimator. The invariants: construction either errors or yields a
+// working estimator, Observe never panics, and Rate is always finite
+// and non-negative whatever clock the caller reports.
+func FuzzRateEstimator(f *testing.F) {
+	f.Add(60.0, 0.3, 1.0, 2.0, 3.0, 100.0)
+	f.Add(1e-9, 0.999, -1.0, math.Inf(1), math.NaN(), 0.0)
+	f.Add(3600.0, 0.0, 5.0, 4.0, 5.0, math.Inf(-1))
+	f.Add(math.NaN(), -1.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, window, alpha, t1, t2, t3, now float64) {
+		e, err := NewRateEstimator(window, alpha)
+		if err != nil {
+			if e != nil {
+				t.Fatal("error with non-nil estimator")
+			}
+			return
+		}
+		e.Observe(t1)
+		e.Observe(t2)
+		e.Observe(t3)
+		got := e.Rate(now)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("Rate(%v) = %v after Observe(%v, %v, %v); want finite and non-negative",
+				now, got, t1, t2, t3)
+		}
+		if n := e.Observations(); n < 0 || n > 3 {
+			t.Fatalf("Observations() = %d after 3 observes", n)
+		}
+	})
+}

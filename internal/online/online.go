@@ -11,6 +11,7 @@ import (
 
 	"mdsprint/internal/core"
 	"mdsprint/internal/explore"
+	"mdsprint/internal/fault"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 )
@@ -29,18 +30,37 @@ type RateEstimator struct {
 
 // NewRateEstimator returns an estimator over the given window (seconds).
 // alpha in [0, 1) blends each new windowed estimate into an EWMA; 0 uses
-// the raw windowed rate.
-func NewRateEstimator(window, alpha float64) *RateEstimator {
-	if window <= 0 || alpha < 0 || alpha >= 1 {
-		panic(fmt.Sprintf("online: NewRateEstimator(window=%v, alpha=%v) invalid", window, alpha))
+// the raw windowed rate. The window must be positive and finite.
+func NewRateEstimator(window, alpha float64) (*RateEstimator, error) {
+	if !(window > 0) || math.IsInf(window, 1) {
+		return nil, fmt.Errorf("online: NewRateEstimator window %v must be positive and finite", window)
 	}
-	return &RateEstimator{window: window, alpha: alpha}
+	if !(alpha >= 0 && alpha < 1) {
+		return nil, fmt.Errorf("online: NewRateEstimator alpha %v must be in [0, 1)", alpha)
+	}
+	return &RateEstimator{window: window, alpha: alpha}, nil
 }
 
-// Observe records one arrival at time t (non-decreasing).
+// MustRateEstimator is NewRateEstimator for statically known arguments;
+// it panics on invalid ones.
+func MustRateEstimator(window, alpha float64) *RateEstimator {
+	e, err := NewRateEstimator(window, alpha)
+	if err != nil {
+		panic(err.Error())
+	}
+	return e
+}
+
+// Observe records one arrival at time t. Real clocks misbehave, so the
+// estimator tolerates adversarial input instead of panicking: non-finite
+// timestamps are ignored, and a timestamp regressing behind the last
+// arrival is clamped to it (observed as a simultaneous arrival).
 func (e *RateEstimator) Observe(t float64) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return
+	}
 	if n := len(e.times); n > 0 && t < e.times[n-1] {
-		panic("online: arrivals must be observed in time order")
+		t = e.times[n-1]
 	}
 	e.times = append(e.times, t)
 	e.trim(t)
@@ -89,8 +109,16 @@ func (e *RateEstimator) windowedRate(now float64) float64 {
 	return float64(n-1) / math.Max(span, e.window/1e6)
 }
 
-// Rate returns the current estimate at time now.
+// Rate returns the current estimate at time now. A non-finite now is
+// replaced by the last observed arrival time, so the estimate stays
+// finite whatever the caller's clock reports.
 func (e *RateEstimator) Rate(now float64) float64 {
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		if len(e.times) == 0 {
+			return 0
+		}
+		now = e.times[len(e.times)-1]
+	}
 	e.trim(now)
 	if len(e.times) == 0 {
 		return 0
@@ -126,6 +154,11 @@ type Controller struct {
 	// obs.Default() so adaptive-control behaviour is inspectable from
 	// sprintctl's debug endpoints.
 	Metrics *obs.Registry
+	// Breaker, when set, circuit-breaks the model-driven search: while
+	// open, a drifted estimate keeps the current timeout instead of
+	// re-annealing, and search failures/successes feed the breaker. May
+	// be nil.
+	Breaker *fault.Breaker
 
 	tunedRate    float64
 	currentTO    float64
@@ -158,6 +191,15 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 	if c.haveDecision && math.Abs(estimatedRate-c.tunedRate)/c.tunedRate <= thr {
 		return c.currentTO, nil
 	}
+	// An open breaker suppresses the search: ride the current decision
+	// (degraded but safe) rather than re-annealing with a model that has
+	// been failing.
+	if c.Breaker != nil && !c.Breaker.Allow() {
+		if c.haveDecision {
+			return c.currentTO, nil
+		}
+		return 0, fmt.Errorf("online: retune breaker open before any decision")
+	}
 	maxTO := c.MaxTimeout
 	if maxTO <= 0 {
 		maxTO = 300
@@ -186,11 +228,14 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 		return pred.MeanRT
 	}, 0, maxTO, explore.Options{MaxIter: iter, Seed: c.Seed + uint64(c.retunes)})
 	if predErr != nil {
+		c.reportSearch(false)
 		return 0, fmt.Errorf("online: model prediction during retune: %w", predErr)
 	}
 	if err != nil {
+		c.reportSearch(false)
 		return 0, err
 	}
+	c.reportSearch(true)
 	oldTO := c.currentTO
 	first := !c.haveDecision
 	c.tunedRate = estimatedRate
@@ -199,6 +244,18 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 	c.retunes++
 	c.recordDecision(oldTO, c.currentTO, estimatedRate, first)
 	return c.currentTO, nil
+}
+
+// reportSearch feeds one search outcome to the breaker, if any.
+func (c *Controller) reportSearch(ok bool) {
+	if c.Breaker == nil {
+		return
+	}
+	if ok {
+		c.Breaker.Success()
+	} else {
+		c.Breaker.Failure()
+	}
 }
 
 // Retunes reports how many model-driven searches the controller has run.

@@ -15,7 +15,7 @@ func TestRateEstimatorConvergesOnPoisson(t *testing.T) {
 	r := dist.NewRNG(3)
 	const rate = 0.5
 	arr := dist.NewExponential(rate)
-	e := NewRateEstimator(600, 0)
+	e := MustRateEstimator(600, 0)
 	now := 0.0
 	for i := 0; i < 5000; i++ {
 		now += arr.Sample(r)
@@ -28,7 +28,7 @@ func TestRateEstimatorConvergesOnPoisson(t *testing.T) {
 
 func TestRateEstimatorTracksShift(t *testing.T) {
 	r := dist.NewRNG(7)
-	e := NewRateEstimator(300, 0)
+	e := MustRateEstimator(300, 0)
 	now := 0.0
 	// Phase 1 at 0.2/s.
 	arr1 := dist.NewExponential(0.2)
@@ -56,8 +56,8 @@ func TestRateEstimatorTracksShift(t *testing.T) {
 func TestRateEstimatorEWMASmoother(t *testing.T) {
 	// With EWMA the estimate reacts more slowly but with less variance.
 	r1, r2 := dist.NewRNG(9), dist.NewRNG(9)
-	raw := NewRateEstimator(120, 0)
-	smooth := NewRateEstimator(120, 0.95)
+	raw := MustRateEstimator(120, 0)
+	smooth := MustRateEstimator(120, 0.95)
 	arr := dist.NewExponential(0.3)
 	now1, now2 := 0.0, 0.0
 	var rawVals, smoothVals []float64
@@ -92,7 +92,7 @@ func variance(xs []float64) float64 {
 func TestRateEstimatorEarlyStreamSane(t *testing.T) {
 	// Regression: the first observations must not produce absurd rates
 	// (a single arrival once divided by a ~zero span).
-	e := NewRateEstimator(3600, 0.9)
+	e := MustRateEstimator(3600, 0.9)
 	e.Observe(100)
 	if got := e.Rate(100); got > 1 {
 		t.Fatalf("single-arrival rate %v, want a small floor", got)
@@ -107,26 +107,44 @@ func TestRateEstimatorEarlyStreamSane(t *testing.T) {
 }
 
 func TestRateEstimatorValidation(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewRateEstimator(0, 0) },
-		func() { NewRateEstimator(10, 1) },
-		func() {
-			e := NewRateEstimator(10, 0)
-			e.Observe(5)
-			e.Observe(4)
-		},
+	for _, bad := range []struct{ window, alpha float64 }{
+		{0, 0}, {-1, 0}, {math.Inf(1), 0}, {math.NaN(), 0},
+		{10, 1}, {10, -0.1}, {10, math.NaN()},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := NewRateEstimator(bad.window, bad.alpha); err == nil {
+			t.Errorf("NewRateEstimator(%v, %v): expected error", bad.window, bad.alpha)
+		}
 	}
-	if got := NewRateEstimator(10, 0).Rate(100); got != 0 {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRateEstimator: expected panic on invalid args")
+			}
+		}()
+		MustRateEstimator(0, 0)
+	}()
+	if got := MustRateEstimator(10, 0).Rate(100); got != 0 {
 		t.Fatalf("empty estimator rate %v, want 0", got)
+	}
+}
+
+func TestRateEstimatorToleratesHostileClocks(t *testing.T) {
+	// Real clocks misbehave; the estimator must absorb regressions and
+	// non-finite timestamps instead of panicking (see Observe).
+	e := MustRateEstimator(10, 0)
+	e.Observe(5)
+	e.Observe(4) // regression: clamped to a simultaneous arrival at 5
+	e.Observe(math.NaN())
+	e.Observe(math.Inf(1))
+	e.Observe(math.Inf(-1))
+	if n := e.Observations(); n != 2 {
+		t.Fatalf("observations %d, want 2 (regression kept, non-finite dropped)", n)
+	}
+	if got := e.Rate(math.NaN()); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Rate under a NaN clock = %v, want finite", got)
+	}
+	if got := e.Rate(math.Inf(1)); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Rate under an Inf clock = %v, want finite", got)
 	}
 }
 

@@ -1,0 +1,168 @@
+package online
+
+import "math"
+
+// Level is a rung of the graceful-degradation chain. Lower is better:
+// the controller climbs down one level at a time as model health decays
+// and back up one level at a time as it recovers.
+type Level int
+
+// The fallback chain of FallbackController, in degradation order.
+const (
+	// LevelHybrid trusts the primary (forest → mu_e → queuesim) model.
+	LevelHybrid Level = iota
+	// LevelNoML trusts the prediction-free fallback model (mu_m →
+	// queuesim), SkipPredict's "cheaper prediction-free policy".
+	LevelNoML
+	// LevelStatic trusts no model: the last-known-good timeout holds.
+	LevelStatic
+)
+
+// String names the level for logs and timelines.
+func (l Level) String() string {
+	switch l {
+	case LevelHybrid:
+		return "hybrid"
+	case LevelNoML:
+		return "noml"
+	default:
+		return "static"
+	}
+}
+
+// WatchdogConfig tunes a model-health Watchdog.
+type WatchdogConfig struct {
+	// Window is how many recent residuals the sliding window retains
+	// (default 12).
+	Window int
+	// MinSamples is how many residuals must be present before the
+	// watchdog renders any verdict (default 6).
+	MinSamples int
+	// DemoteThreshold is the mean relative residual above which the
+	// model is unhealthy (default 0.35).
+	DemoteThreshold float64
+	// PromoteThreshold is the mean relative residual below which the
+	// model counts as healthy again (default 0.15). Keeping it well
+	// under DemoteThreshold is the hysteresis band: a model hovering
+	// between the two neither demotes nor promotes.
+	PromoteThreshold float64
+	// PromoteStreak is how many consecutive healthy observations a
+	// recovering model must string together before being re-trusted
+	// (default 8) — gradual re-trust, not a single lucky sample.
+	PromoteStreak int
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Window <= 0 {
+		c.Window = 12
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 6
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.DemoteThreshold <= 0 {
+		c.DemoteThreshold = 0.35
+	}
+	if c.PromoteThreshold <= 0 {
+		c.PromoteThreshold = 0.15
+	}
+	if c.PromoteStreak <= 0 {
+		c.PromoteStreak = 8
+	}
+	return c
+}
+
+// failResidual is the residual recorded when the model cannot produce a
+// prediction at all: large enough to dominate any window mean, finite
+// so the mean stays well-behaved.
+const failResidual = 1e6
+
+// Watchdog tracks prediction-vs-observed response-time residuals in a
+// sliding window and renders demotion/promotion verdicts with
+// hysteresis. It is not safe for concurrent use.
+type Watchdog struct {
+	cfg    WatchdogConfig
+	ring   []float64
+	next   int
+	filled int
+	streak int // consecutive healthy observations
+}
+
+// NewWatchdog returns a watchdog with the given config (zero values
+// take the documented defaults).
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	cfg = cfg.withDefaults()
+	return &Watchdog{cfg: cfg, ring: make([]float64, cfg.Window)}
+}
+
+// Observe records one |predicted−observed|/observed relative residual.
+// Non-finite or non-positive observations are recorded as model
+// failures (the model was consulted and the comparison is impossible).
+func (w *Watchdog) Observe(predicted, observed float64) {
+	if math.IsNaN(predicted) || math.IsInf(predicted, 0) ||
+		math.IsNaN(observed) || observed <= 0 || math.IsInf(observed, 0) {
+		w.ObserveFailure()
+		return
+	}
+	w.push(math.Abs(predicted-observed) / observed)
+}
+
+// ObserveFailure records a prediction attempt that produced no usable
+// prediction — the strongest possible evidence of ill health.
+func (w *Watchdog) ObserveFailure() {
+	w.push(failResidual)
+}
+
+func (w *Watchdog) push(residual float64) {
+	w.ring[w.next] = residual
+	w.next = (w.next + 1) % len(w.ring)
+	if w.filled < len(w.ring) {
+		w.filled++
+	}
+	if residual <= w.cfg.PromoteThreshold {
+		w.streak++
+	} else {
+		w.streak = 0
+	}
+}
+
+// MeanResidual returns the window's mean relative residual, or NaN
+// before any observation.
+func (w *Watchdog) MeanResidual() float64 {
+	if w.filled == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := 0; i < w.filled; i++ {
+		sum += w.ring[i]
+	}
+	return sum / float64(w.filled)
+}
+
+// Samples returns how many residuals the window currently holds.
+func (w *Watchdog) Samples() int { return w.filled }
+
+// ShouldDemote reports whether the window holds enough evidence of ill
+// health to stop trusting the model.
+func (w *Watchdog) ShouldDemote() bool {
+	return w.filled >= w.cfg.MinSamples && w.MeanResidual() > w.cfg.DemoteThreshold
+}
+
+// ShouldPromote reports whether the model has been healthy long enough
+// to be re-trusted: enough samples, a healthy window mean, and an
+// unbroken streak of healthy observations (hysteresis).
+func (w *Watchdog) ShouldPromote() bool {
+	return w.filled >= w.cfg.MinSamples &&
+		w.MeanResidual() < w.cfg.PromoteThreshold &&
+		w.streak >= w.cfg.PromoteStreak
+}
+
+// Reset clears the window — called when the controller changes level,
+// so each verdict is rendered on evidence from the current regime.
+func (w *Watchdog) Reset() {
+	w.next = 0
+	w.filled = 0
+	w.streak = 0
+}

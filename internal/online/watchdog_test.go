@@ -1,0 +1,118 @@
+package online
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWatchdogDefaultsClamp(t *testing.T) {
+	cfg := WatchdogConfig{Window: 4, MinSamples: 9}.withDefaults()
+	if cfg.MinSamples != 4 {
+		t.Fatalf("MinSamples %d, want clamped to Window 4", cfg.MinSamples)
+	}
+	d := WatchdogConfig{}.withDefaults()
+	if d.Window != 12 || d.MinSamples != 6 || d.PromoteStreak != 8 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	if !(d.PromoteThreshold < d.DemoteThreshold) {
+		t.Fatalf("hysteresis band inverted: promote %v >= demote %v", d.PromoteThreshold, d.DemoteThreshold)
+	}
+}
+
+func TestWatchdogDemotesOnSustainedResidual(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 6, MinSamples: 4})
+	// Healthy observations first: no verdict.
+	for i := 0; i < 6; i++ {
+		w.Observe(1.0, 1.0)
+	}
+	if w.ShouldDemote() {
+		t.Fatal("demoted on perfect predictions")
+	}
+	// Sustained 60% error flips the verdict once the window turns over.
+	for i := 0; i < 6; i++ {
+		w.Observe(1.6, 1.0)
+	}
+	if !w.ShouldDemote() {
+		t.Fatalf("no demotion at mean residual %v", w.MeanResidual())
+	}
+}
+
+func TestWatchdogNoVerdictBeforeMinSamples(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 8, MinSamples: 5})
+	for i := 0; i < 4; i++ {
+		w.ObserveFailure()
+	}
+	if w.ShouldDemote() {
+		t.Fatal("verdict rendered before MinSamples")
+	}
+	w.ObserveFailure()
+	if !w.ShouldDemote() {
+		t.Fatal("no demotion after MinSamples failures")
+	}
+}
+
+func TestWatchdogPromotionNeedsStreak(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 8, MinSamples: 4, PromoteStreak: 6})
+	// Healthy window but the streak keeps breaking: no promotion.
+	for i := 0; i < 12; i++ {
+		if i%4 == 3 {
+			w.Observe(1.3, 1.0) // inside the hysteresis band: breaks streak
+		} else {
+			w.Observe(1.0, 1.0)
+		}
+	}
+	if w.ShouldPromote() {
+		t.Fatal("promoted without an unbroken streak")
+	}
+	for i := 0; i < 6; i++ {
+		w.Observe(1.0, 1.0)
+	}
+	if !w.ShouldPromote() {
+		t.Fatal("no promotion after a clean streak")
+	}
+}
+
+func TestWatchdogHostileObservations(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 4, MinSamples: 2})
+	w.Observe(math.NaN(), 1)
+	w.Observe(1, math.NaN())
+	w.Observe(math.Inf(1), 1)
+	w.Observe(1, 0)
+	w.Observe(1, -3)
+	if !w.ShouldDemote() {
+		t.Fatalf("hostile observations must count as failures (mean %v)", w.MeanResidual())
+	}
+	if w.ShouldPromote() {
+		t.Fatal("promoted on failures")
+	}
+}
+
+func TestWatchdogReset(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Window: 4, MinSamples: 2})
+	w.ObserveFailure()
+	w.ObserveFailure()
+	if !w.ShouldDemote() {
+		t.Fatal("setup: expected demotion verdict")
+	}
+	w.Reset()
+	if w.Samples() != 0 || w.ShouldDemote() {
+		t.Fatal("reset did not clear the evidence window")
+	}
+	if !math.IsNaN(w.MeanResidual()) {
+		t.Fatalf("mean residual after reset %v, want NaN", w.MeanResidual())
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, tc := range []struct {
+		lvl  Level
+		want string
+	}{
+		{LevelHybrid, "hybrid"}, {LevelNoML, "noml"}, {LevelStatic, "static"}, {Level(99), "static"},
+	} {
+		lvl, want := tc.lvl, tc.want
+		if got := lvl.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lvl), got, want)
+		}
+	}
+}

@@ -290,6 +290,7 @@ func (p *Profiler) Profile(conds []Condition) *Dataset {
 	sem := make(chan struct{}, pp.Workers)
 	for i, cond := range conds {
 		wg.Add(1)
+		//lint:ignore ctxleak bounded fork-join: every worker finishes and is joined before Profile returns
 		go func(i int, cond Condition) {
 			defer wg.Done()
 			sem <- struct{}{}

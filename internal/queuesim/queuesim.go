@@ -528,6 +528,7 @@ func Predict(p Params, reps, workers int) (Prediction, error) {
 	sem := make(chan struct{}, workers)
 	for i := 0; i < reps; i++ {
 		wg.Add(1)
+		//lint:ignore ctxleak bounded fork-join: replications always complete and are joined before Predict returns
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}

@@ -28,6 +28,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,6 +51,12 @@ type Task struct {
 // megabyte.
 const DefaultCacheSize = 4096
 
+// TaskHook runs before each batch task's evaluation, outside the
+// memoization cache — fault injectors use it to perturb individual
+// tasks without their failures ever being memoized. A non-nil return
+// fails the task; a panic is recovered and surfaced the same way.
+type TaskHook func(index int, t Task) error
+
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds batch concurrency (0 means NumCPU).
@@ -61,6 +68,8 @@ type Options struct {
 	// Metrics receives the engine's counters and gauges; nil records
 	// into obs.Default().
 	Metrics *obs.Registry
+	// TaskHook, when set, runs before each batch task (see TaskHook).
+	TaskHook TaskHook
 }
 
 // Engine evaluates batches of simulator tasks on a worker pool with
@@ -68,6 +77,7 @@ type Options struct {
 type Engine struct {
 	workers int
 	cache   *cache // nil when memoization is disabled
+	hook    TaskHook
 
 	tasks     atomic.Uint64
 	evals     atomic.Uint64
@@ -75,6 +85,8 @@ type Engine struct {
 	misses    atomic.Uint64
 	bypasses  atomic.Uint64
 	evictions atomic.Uint64
+	panics    atomic.Uint64
+	canceled  atomic.Uint64
 
 	m engineMetrics
 }
@@ -89,6 +101,8 @@ type engineMetrics struct {
 	entries          *obs.Gauge
 	batches          *obs.Counter
 	batchTasks       *obs.Histogram
+	panics           *obs.Counter
+	canceled         *obs.Counter
 }
 
 // New returns an engine with the given options.
@@ -101,7 +115,7 @@ func New(o Options) *Engine {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	e := &Engine{workers: workers}
+	e := &Engine{workers: workers, hook: o.TaskHook}
 	if size > 0 {
 		e.cache = newCache(size)
 	}
@@ -116,6 +130,8 @@ func New(o Options) *Engine {
 		entries:    reg.Gauge("mdsprint_sweep_cache_entries", "memoized evaluations currently retained"),
 		batches:    reg.Counter("mdsprint_sweep_batches_total", "EvaluateAll/EvaluateAsync batches started"),
 		batchTasks: reg.Histogram("mdsprint_sweep_batch_tasks", "tasks per sweep batch", 0),
+		panics:     reg.Counter("mdsprint_sweep_recovered_panics_total", "worker panics recovered and surfaced as task errors"),
+		canceled:   reg.Counter("mdsprint_sweep_canceled_tasks_total", "batch tasks abandoned by context cancellation"),
 	}
 	return e
 }
@@ -156,6 +172,9 @@ type Stats struct {
 	// counts LRU displacements; Entries is the current cache size.
 	Hits, Misses, Bypasses, Evictions uint64
 	Entries                           int
+	// RecoveredPanics counts worker panics recovered into task errors;
+	// Canceled counts batch tasks abandoned by context cancellation.
+	RecoveredPanics, Canceled uint64
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any cacheable
@@ -177,6 +196,9 @@ func (e *Engine) Stats() Stats {
 		Misses:    e.misses.Load(),
 		Bypasses:  e.bypasses.Load(),
 		Evictions: e.evictions.Load(),
+
+		RecoveredPanics: e.panics.Load(),
+		Canceled:        e.canceled.Load(),
 	}
 	if e.cache != nil {
 		s.Entries = e.cache.len()
@@ -215,7 +237,7 @@ func (e *Engine) Evaluate(t Task) (queuesim.Prediction, error) {
 		e.m.misses.Inc()
 		e.evals.Add(1)
 		e.m.evals.Inc()
-		pred, err := queuesim.Predict(t.Params, reps, 1)
+		pred, err := e.safePredict(t.Params, reps)
 		en.finish(pred, err)
 		e.m.entries.Set(float64(e.cache.len()))
 		return pred, err
@@ -232,7 +254,46 @@ func (e *Engine) bypass(p queuesim.Params, reps int) (queuesim.Prediction, error
 	e.m.bypasses.Inc()
 	e.evals.Add(1)
 	e.m.evals.Inc()
+	return e.safePredict(p, reps)
+}
+
+// safePredict runs the simulator with panic containment: a panic in a
+// worker (injected by a chaos hook or escaping a simulator bug) is
+// recovered into that task's error instead of killing the pool. The
+// single-flight owner still calls finish, so waiters never deadlock on
+// a panicked owner.
+func (e *Engine) safePredict(p queuesim.Params, reps int) (pred queuesim.Prediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			e.m.panics.Inc()
+			pred, err = queuesim.Prediction{}, fmt.Errorf("sweep: recovered panic: %v", r)
+		}
+	}()
 	return queuesim.Predict(p, reps, 1)
+}
+
+// runHook invokes the engine's task hook with the same panic
+// containment as safePredict.
+func (e *Engine) runHook(i int, t Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			e.m.panics.Inc()
+			err = fmt.Errorf("sweep: recovered panic: %v", r)
+		}
+	}()
+	return e.hook(i, t)
+}
+
+// runTask is one batch task: hook (if any), then evaluation.
+func (e *Engine) runTask(i int, t Task) (queuesim.Prediction, error) {
+	if e.hook != nil {
+		if err := e.runHook(i, t); err != nil {
+			return queuesim.Prediction{}, err
+		}
+	}
+	return e.Evaluate(t)
 }
 
 // Batch is an in-flight EvaluateAsync result.
@@ -261,6 +322,17 @@ func (b *Batch) Wait() ([]queuesim.Prediction, error) {
 // serially (queuesim.Predict with one worker) so parallelism lives at
 // task granularity and a task's result never depends on pool size.
 func (e *Engine) EvaluateAsync(tasks []Task) *Batch {
+	return e.EvaluateAsyncCtx(context.Background(), tasks)
+}
+
+// EvaluateAsyncCtx is EvaluateAsync honoring cancellation: once ctx is
+// done, remaining tasks are abandoned with ctx's error (already-running
+// simulations finish their point). Results for completed tasks are
+// still populated, and Wait reports the lowest-indexed error as usual.
+func (e *Engine) EvaluateAsyncCtx(ctx context.Context, tasks []Task) *Batch {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.m.batches.Inc()
 	e.m.batchTasks.Observe(float64(len(tasks)))
 	b := &Batch{
@@ -282,7 +354,13 @@ func (e *Engine) EvaluateAsync(tasks []Task) *Batch {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				b.preds[i], b.errs[i] = e.Evaluate(tasks[i])
+				if err := ctx.Err(); err != nil {
+					e.canceled.Add(1)
+					e.m.canceled.Inc()
+					b.errs[i] = err
+					continue
+				}
+				b.preds[i], b.errs[i] = e.runTask(i, tasks[i])
 			}
 		}()
 	}
@@ -302,10 +380,20 @@ func (e *Engine) EvaluateAll(tasks []Task) ([]queuesim.Prediction, error) {
 	return e.EvaluateAsync(tasks).Wait()
 }
 
+// EvaluateAllCtx is EvaluateAll honoring cancellation.
+func (e *Engine) EvaluateAllCtx(ctx context.Context, tasks []Task) ([]queuesim.Prediction, error) {
+	return e.EvaluateAsyncCtx(ctx, tasks).Wait()
+}
+
 // MeanRTs is EvaluateAll reduced to each task's mean response time — the
 // shape policy searches score candidates with.
 func (e *Engine) MeanRTs(tasks []Task) ([]float64, error) {
-	preds, err := e.EvaluateAll(tasks)
+	return e.MeanRTsCtx(context.Background(), tasks)
+}
+
+// MeanRTsCtx is MeanRTs honoring cancellation.
+func (e *Engine) MeanRTsCtx(ctx context.Context, tasks []Task) ([]float64, error) {
+	preds, err := e.EvaluateAllCtx(ctx, tasks)
 	if err != nil {
 		return nil, err
 	}
