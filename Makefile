@@ -1,10 +1,12 @@
 GO ?= go
 
 # tier1 is the merge gate: vet + project lint + build + race-enabled
-# tests + the disabled-hook overhead check (BenchmarkSimulateOne vs
+# tests + the zero-allocation budget tests (which the race detector's
+# instrumentation would skew, so they get a non-race run of their own) +
+# the disabled-hook overhead check (BenchmarkSimulateOne vs
 # BenchmarkSimulateOneTraced; baseline recorded in BENCH_obs.json).
 .PHONY: tier1
-tier1: vet lint build race bench-obs
+tier1: vet lint build race alloc-check bench-obs
 
 .PHONY: build
 build:
@@ -49,7 +51,8 @@ cover:
 			echo "cover: $$1 fell below its $$2% floor"; exit 1; fi; \
 	}; \
 	check ./internal/sweep 90; \
-	check ./internal/queuesim 91; \
+	check ./internal/queuesim 93; \
+	check ./internal/sim 95; \
 	check ./internal/explore 95; \
 	check ./internal/fault 90; \
 	check ./internal/online 90
@@ -68,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDist$$' -fuzztime 10s ./internal/dist
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadEvents$$' -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzRateEstimator$$' -fuzztime 10s ./internal/online
+	$(GO) test -run '^$$' -fuzz '^FuzzRunDeterminism$$' -fuzztime 10s ./internal/queuesim
 
 # chaos replays every built-in fault-injection scenario against the
 # graceful-degradation controller and fails if any scripted expectation
@@ -79,6 +83,23 @@ chaos:
 .PHONY: bench-obs
 bench-obs:
 	$(GO) test -run '^$$' -bench 'SimulateOne' -benchmem .
+
+# alloc-check runs the testing.AllocsPerRun budget tests that pin the
+# simulator hot path at zero steady-state allocations. They self-skip
+# under -race (instrumentation allocates), so the merge gate runs them
+# here without it; -count=1 defeats the test cache.
+.PHONY: alloc-check
+alloc-check:
+	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/queuesim ./internal/sim
+
+# bench-sim measures the pooled simulator hot path against the retired
+# heap-and-closure reference engine (Run, RunReps) plus the calibration
+# probe that drives it (SimulateRT). Baseline in BENCH_sim.json; the
+# pooled RunReps must stay >=2x faster than the reference.
+.PHONY: bench-sim
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Run|RunInto|RunReference|RunReps|RunRepsReference)$$' -benchmem ./internal/queuesim/
+	$(GO) test -run '^$$' -bench 'SimulateRT' -benchmem ./internal/calib/
 
 # bench-sweep measures the policy-sweep engine: serial vs sharded
 # throughput and the memoized path (baseline recorded in

@@ -34,6 +34,15 @@ func splitmix64(x *uint64) uint64 {
 // seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place from seed, discarding all prior state
+// (including the cached Box-Muller spare). A reseeded generator produces
+// exactly the stream NewRNG(seed) would, so reusable simulator runners can
+// replay replications without allocating a fresh RNG per run.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -42,7 +51,8 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.haveSpare = false
+	r.spare = 0
 }
 
 // Split derives an independent generator from r. The child stream is a

@@ -23,6 +23,12 @@ type Config struct {
 	// forbids spawning goroutines from functions that take no
 	// context.Context (callers would have no cancellation path).
 	CtxPackages []string
+	// PooledTypes lists slab-pooled types (as "relpkg.TypeName", bare
+	// "TypeName" for the root package) whose values must not be captured
+	// by closures: pooled slots are recycled, so a captured reference
+	// goes stale when the slot is re-tenanted. poolescape flags function
+	// literals with such free variables inside the declaring package.
+	PooledTypes []string
 }
 
 // DefaultConfig returns the policy for this repository.
@@ -68,6 +74,12 @@ func DefaultConfig() *Config {
 			"internal/queuesim",
 			"internal/online",
 			"internal/fault",
+		},
+		// The allocation-free hot path's slab-resident types: queries in
+		// the queue simulator's pool, event slots in the pooled engine.
+		PooledTypes: []string{
+			"internal/queuesim.query",
+			"internal/sim.slot",
 		},
 	}
 }

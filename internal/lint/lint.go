@@ -109,6 +109,7 @@ func Analyzers() []*Analyzer {
 		LockCopy,
 		ExportedDoc,
 		CtxLeak,
+		PoolEscape,
 	}
 }
 

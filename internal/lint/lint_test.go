@@ -18,6 +18,7 @@ func fixtureConfig() *Config {
 		DeterministicPackages: []string{"."},
 		DocPackages:           []string{"."},
 		CtxPackages:           []string{"."},
+		PooledTypes:           []string{"query"},
 	}
 }
 
@@ -32,6 +33,7 @@ var fixtureAnalyzers = map[string][]string{
 	"lockcopy":    {"lockcopy-lite"},
 	"exporteddoc": {"exporteddoc"},
 	"ctxleak":     {"ctxleak"},
+	"poolescape":  {"poolescape"},
 	"clean":       {},
 	"suppressed":  {},
 	"badsuppress": {"lint", "floateq"},

@@ -1,0 +1,74 @@
+// Package poolescape exercises closures over pooled slab objects.
+package poolescape
+
+// query is the fixture's pooled type (configured via PooledTypes).
+type query struct {
+	id      int32
+	service float64
+}
+
+// plain is an ordinary type; capturing it is fine.
+type plain struct {
+	n int
+}
+
+type engine struct {
+	pool  []query
+	hooks []func()
+}
+
+// schedule captures a *query in a deferred hook: flagged — by the time
+// the hook runs the slot may host a different query.
+func (e *engine) schedule(qi int32) {
+	q := &e.pool[qi]
+	e.hooks = append(e.hooks, func() {
+		q.service = 0 // flagged: pooled object captured by closure
+	})
+}
+
+// scheduleValue captures a query by value: also flagged — a stale copy
+// diverges from the slab just as silently.
+func (e *engine) scheduleValue(qi int32) {
+	q := e.pool[qi]
+	e.hooks = append(e.hooks, func() {
+		_ = q.id // flagged
+	})
+}
+
+// scheduleByIndex captures only the index and resolves it at call time:
+// clean, and the pattern the analyzer steers toward.
+func (e *engine) scheduleByIndex(qi int32) {
+	e.hooks = append(e.hooks, func() {
+		e.pool[qi].service = 0
+	})
+}
+
+// localParam: a closure's own query parameter is not a capture.
+func localParam(fn func(q query)) {
+	fn(query{})
+}
+
+// localInside declares the query inside the literal: clean.
+func localInside() func() int32 {
+	return func() int32 {
+		q := query{id: 1}
+		return q.id
+	}
+}
+
+// plainCapture captures a non-pooled type: clean.
+func plainCapture(p *plain) func() {
+	return func() { p.n++ }
+}
+
+// drain holds a query reference across a synchronous call that cannot
+// outlive the run; the suppression records the reasoning.
+func (e *engine) drain(qi int32) {
+	q := &e.pool[qi]
+	run(
+		//lint:ignore poolescape synchronous visitor: runs before drain returns, slot cannot be recycled underneath it
+		func() { q.service = 0 },
+	)
+}
+
+func run(fn func()) { fn() }

@@ -1,0 +1,113 @@
+package queuesim
+
+// Allocation-budget tests: the pooled hot path must simulate queries with
+// zero steady-state heap allocations when tracing is off. These are
+// enforced budgets, not benchmarks — a regression fails the suite.
+
+import (
+	"testing"
+
+	"mdsprint/internal/dist"
+)
+
+// allocParams exercises the full hot path: arrivals, timeouts, engages,
+// budget exhaustion and refill, reschedules, departures.
+func allocParams() Params {
+	return Params{
+		ArrivalRate:   9,
+		ArrivalKind:   dist.KindPareto,
+		Service:       dist.NewExponential(10),
+		ServiceRate:   10,
+		SprintRate:    20,
+		Timeout:       0.05,
+		BudgetSeconds: 2,
+		RefillTime:    40,
+		NumQueries:    800,
+		Seed:          3,
+	}
+}
+
+// TestRunnerZeroAllocsPerQuery pins the tentpole invariant: a warmed
+// Runner replaying RunInto with a reused Result performs zero heap
+// allocations for the entire run — event scheduling, query pooling, FIFO
+// queueing, RNG reseeding, accountant resets and metrics flush included.
+func TestRunnerZeroAllocsPerQuery(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	r := NewRunner()
+	p := allocParams()
+	var res Result
+	// Warm every pool to its steady-state capacity.
+	for i := 0; i < 3; i++ {
+		if err := r.RunInto(p, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Engages == 0 || res.Exhaustions == 0 {
+		t.Fatalf("warmup run must exercise sprints (engages=%d exhaustions=%d)",
+			res.Engages, res.Exhaustions)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := r.RunInto(p, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RunInto allocated %.1f objects per run (%d queries), want 0",
+			allocs, p.NumQueries)
+	}
+}
+
+// TestRunnerZeroAllocsAcrossSeeds varies the seed per run (the RunReps
+// pattern): reseeding must not reintroduce allocations.
+func TestRunnerZeroAllocsAcrossSeeds(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	r := NewRunner()
+	p := allocParams()
+	var res Result
+	for i := 0; i < 3; i++ {
+		p.Seed = repSeed(3, i)
+		if err := r.RunInto(p, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		p.Seed = repSeed(1000, seed%3)
+		seed++
+		if err := r.RunInto(p, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("seed-varying RunInto allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestFIFOBoundedLiveQueries is the regression test for the FIFO
+// backing-array retention bug: the old head-shifting queue
+// (s.queue = s.queue[1:]) kept every departed query reachable through
+// the slice's backing array for the whole run. The pooled ring recycles
+// slots, so the live high-water mark must track the actual queue depth —
+// a small fraction of the total at moderate load — not the run length.
+func TestFIFOBoundedLiveQueries(t *testing.T) {
+	p := Params{
+		ArrivalRate: 7, // rho = 0.7
+		Service:     dist.NewExponential(10),
+		ServiceRate: 10,
+		Timeout:     -1,
+		NumQueries:  20000,
+		Seed:        17,
+	}
+	res := MustRun(p)
+	if res.MaxLive <= 0 {
+		t.Fatalf("MaxLive = %d, want positive", res.MaxLive)
+	}
+	if res.MaxLive >= p.NumQueries/10 {
+		t.Fatalf("MaxLive = %d for %d queries at rho=0.7: live set grows with run length, pool is retaining departed queries",
+			res.MaxLive, p.NumQueries)
+	}
+}

@@ -1,0 +1,100 @@
+package queuesim
+
+// FuzzRunDeterminism shakes the pooled engine with arbitrary
+// distribution specs and policy knobs, checking three properties on
+// every input: Run never panics on validated parameters, running twice
+// with the same seed is bit-identical (determinism), and the pooled
+// engine matches the reference implementation bit-for-bit (equivalence).
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/sprint"
+)
+
+// fuzzUsableDist vets a parsed distribution for simulation: sampling must
+// yield finite non-negative values (service additionally strictly
+// positive). NaN samples are excluded because NaN event times make heap
+// ordering comparator-dependent — they would diff the two engines'
+// internal layouts, not their semantics.
+func fuzzUsableDist(d dist.Dist, seed uint64, strictlyPositive bool) bool {
+	rng := dist.NewRNG(seed ^ 0xf00d)
+	for i := 0; i < 64; i++ {
+		v := d.Sample(rng)
+		if math.IsNaN(v) || v < 0 {
+			return false
+		}
+		if strictlyPositive && v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzRunDeterminism(f *testing.F) {
+	f.Add(uint64(1), "exp(1.2)", "exp(1)", 0.4, 5.0, 30.0, uint8(0), uint8(0), uint8(40), 2.0)
+	f.Add(uint64(7), "pareto(0.4,2.5)", "lognormal(0.8,0.6)", 0.1, 2.0, 10.0, uint8(1), uint8(2), uint8(63), 1.8)
+	f.Add(uint64(42), "det(0.8)", "erlang(3,4)", -1.0, 0.0, 0.0, uint8(0), uint8(1), uint8(10), 0.0)
+	f.Add(uint64(9), "uniform(0.1,0.9)", "hyperexp(0.7,2.5)", 0.05, 1.0, 5.0, uint8(2), uint8(7), uint8(33), 0.5)
+
+	f.Fuzz(func(t *testing.T, seed uint64, arrSpec, svcSpec string,
+		timeout, budget, refillTime float64, mode, slots, queries uint8, sprintRate float64) {
+		arrival, err := dist.ParseDist(arrSpec)
+		if err != nil {
+			t.Skip()
+		}
+		service, err := dist.ParseDist(svcSpec)
+		if err != nil {
+			t.Skip()
+		}
+		if !fuzzUsableDist(arrival, seed, false) || !fuzzUsableDist(service, seed, true) {
+			t.Skip()
+		}
+		if math.IsNaN(timeout) || math.IsInf(timeout, 0) {
+			t.Skip()
+		}
+		if math.IsNaN(budget) || math.IsInf(budget, 0) || budget < 0 || budget > 1e6 {
+			t.Skip()
+		}
+		if math.IsNaN(refillTime) || math.IsInf(refillTime, 0) || refillTime < 0 || refillTime > 1e6 {
+			t.Skip()
+		}
+		if math.IsNaN(sprintRate) || math.IsInf(sprintRate, 0) || sprintRate < 0 || sprintRate > 1e6 {
+			t.Skip()
+		}
+
+		p := Params{
+			ArrivalRate:   1, // informational; actual arrivals come from Arrival
+			Arrival:       arrival,
+			Service:       service,
+			ServiceRate:   1,
+			SprintRate:    sprintRate,
+			Timeout:       timeout,
+			BudgetSeconds: budget,
+			RefillTime:    refillTime,
+			Refill:        sprint.RefillMode(mode % 3),
+			Slots:         int(slots%8) + 1,
+			NumQueries:    int(queries%64) + 1,
+			Warmup:        int(queries % 8),
+			Seed:          seed,
+		}
+
+		first, err := Run(p)
+		if err != nil {
+			t.Fatalf("validated params rejected: %v", err)
+		}
+		second, err := Run(p)
+		if err != nil {
+			t.Fatalf("second run errored: %v", err)
+		}
+		requireResultsIdentical(t, second, first)
+
+		ref, err := runReference(p)
+		if err != nil {
+			t.Fatalf("reference errored: %v", err)
+		}
+		requireResultsIdentical(t, first, ref)
+	})
+}

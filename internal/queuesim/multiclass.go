@@ -6,7 +6,6 @@ import (
 
 	"mdsprint/internal/dist"
 	"mdsprint/internal/obs"
-	"mdsprint/internal/sim"
 	"mdsprint/internal/sprint"
 	"mdsprint/internal/stats"
 )
@@ -87,18 +86,26 @@ type MultiResult struct {
 // MeanRTOf returns one class's mean response time.
 func (r *MultiResult) MeanRTOf(name string) float64 { return stats.Mean(r.ByClass[name]) }
 
-// mcQuery extends query with its class index.
-type mcQuery struct {
-	query
-	class int
-}
-
 // RunMulti simulates the multi-class system. Classes share the FIFO queue,
 // the execution slots and the sprinting budget, but each class sprints at
-// its own rate after its own timeout.
+// its own rate after its own timeout. The run executes on the same pooled
+// runner core as Run; the only behavioural differences are the weighted
+// class draw per arrival and per-class service, timeout and speedup.
 func RunMulti(p MultiParams) (*MultiResult, error) {
-	if err := p.validate(); err != nil {
+	r := getRunner()
+	defer putRunner(r)
+	res := &MultiResult{}
+	if err := r.runMultiInto(p, res); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// runMultiInto configures the runner for p's classes and runs the
+// simulation into out.
+func (r *Runner) runMultiInto(p MultiParams, out *MultiResult) error {
+	if err := p.validate(); err != nil {
+		return err
 	}
 	if p.Slots == 0 {
 		p.Slots = 1
@@ -109,28 +116,32 @@ func RunMulti(p MultiParams) (*MultiResult, error) {
 	if p.ArrivalKind == "" {
 		p.ArrivalKind = dist.KindExponential
 	}
-	arr := p.Arrival
-	if arr == nil {
-		arr = dist.ForRate(p.ArrivalKind, p.ArrivalRate)
-	}
 	refill := 0.0
 	if p.RefillTime > 0 {
 		refill = p.BudgetSeconds / p.RefillTime
 	}
-
-	s := &mcState{
-		p:    p,
-		eng:  sim.New(),
-		rng:  dist.NewRNG(p.Seed),
-		arr:  arr,
-		acct: sprint.NewAccountant(p.BudgetSeconds, refill),
-		tr:   p.Tracer,
-		free: p.Slots,
-		res:  MultiResult{ByClass: map[string][]float64{}},
+	r.resetCore()
+	r.rng.Reseed(p.Seed)
+	if p.Arrival != nil {
+		r.arr = p.Arrival
+	} else {
+		//lint:ignore floateq the cache key must match the rate exactly; a near-match would silently change the arrival process
+		if r.arrCached == nil || r.arrKind != p.ArrivalKind || r.arrRate != p.ArrivalRate {
+			r.arrKind, r.arrRate = p.ArrivalKind, p.ArrivalRate
+			r.arrCached = dist.ForRate(p.ArrivalKind, p.ArrivalRate)
+		}
+		r.arr = r.arrCached
 	}
-	// Per-class speedups, floored like Params.speedup.
-	s.speedups = make([]float64, len(p.Classes))
-	for i, c := range p.Classes {
+	// The shared budget always refills continuously in the multi-class
+	// model (the original implementation never exposed paused/window
+	// semantics here).
+	r.acct.Reset(p.BudgetSeconds, refill, sprint.RefillContinuous, 0)
+	r.tr = p.Tracer
+	r.multi = true
+	r.drawClass = true
+	r.classes = r.classes[:0]
+	for _, c := range p.Classes {
+		// Per-class speedups, floored like Params.speedup.
 		sp := 1.0
 		if c.SprintRate > 0 {
 			sp = c.SprintRate / c.ServiceRate
@@ -138,241 +149,43 @@ func RunMulti(p MultiParams) (*MultiResult, error) {
 				sp = 0.1
 			}
 		}
-		s.speedups[i] = sp
+		//lint:ignore floateq per-class speedups are exactly 1 only via the no-sprint sentinel; ratios near 1 must keep sprinting
+		sprintOn := c.Timeout >= 0 && p.BudgetSeconds > 0 && sp != 1
+		r.classes = append(r.classes, classCfg{
+			name:     c.Name,
+			weight:   c.Weight,
+			service:  c.Service,
+			timeout:  c.Timeout,
+			speedup:  sp,
+			sprintOn: sprintOn,
+		})
 	}
+	r.free = p.Slots
+	r.warmup = p.Warmup
 	total := p.NumQueries + p.Warmup
+	r.total = total
+
+	out.Result = Result{
+		RTs:           sizedFloats(out.RTs, p.NumQueries),
+		QueueingTimes: sizedFloats(out.QueueingTimes, p.NumQueries),
+	}
+	if out.ByClass == nil {
+		out.ByClass = map[string][]float64{}
+	}
+	r.res = &out.Result
+	r.mres = out
+
 	if total > 0 {
-		s.eng.Schedule(arr.Sample(s.rng), s.arrive)
+		r.eng.Schedule(r.arr.Sample(&r.rng), r.cbArrive, 0)
 	}
 	clk := obs.ClockOr(p.Clock)
 	start := clk.Now()
-	fired := s.eng.RunAll()
-	flushMetrics(total, fired, s.engages, s.exhaustions, clk.Now().Sub(start).Seconds())
-	return &s.res, nil
-}
-
-type mcState struct {
-	p        MultiParams
-	eng      *sim.Engine
-	rng      *dist.RNG
-	arr      dist.Dist
-	acct     *sprint.Accountant
-	speedups []float64
-	tr       obs.QueryTracer
-
-	queue    []*mcQuery
-	running  []*mcQuery
-	free     int
-	budgetEv *sim.Event
-
-	arrived     int
-	engages     int
-	exhaustions int
-	exhausted   bool
-	res         MultiResult
-}
-
-// emit traces one event tagged with q's class; callers guard on s.tr.
-func (s *mcState) emit(typ obs.EventType, now float64, q *mcQuery, value float64) {
-	s.tr.Event(obs.QueryEvent{
-		Type: typ, Time: now, Query: q.id,
-		Class: s.p.Classes[q.class].Name, Value: value,
-	})
-}
-
-// pickClass draws a class index by weight.
-func (s *mcState) pickClass() int {
-	u := s.rng.Float64()
-	acc := 0.0
-	for i, c := range s.p.Classes {
-		acc += c.Weight
-		if u < acc {
-			return i
-		}
-	}
-	return len(s.p.Classes) - 1
-}
-
-// classSprints reports whether class ci's sprint clause is active.
-func (s *mcState) classSprints(ci int) bool {
-	//lint:ignore floateq per-class speedups are exactly 1 only via the no-sprint sentinel; ratios near 1 must keep sprinting
-	return s.p.Classes[ci].Timeout >= 0 && s.p.BudgetSeconds > 0 && s.speedups[ci] != 1
-}
-
-func (s *mcState) arrive() {
-	now := s.eng.Now()
-	id := s.arrived
-	s.arrived++
-	ci := s.pickClass()
-	q := &mcQuery{class: ci}
-	q.id = id
-	q.arrival = now
-	q.service = s.p.Classes[ci].Service.Sample(s.rng)
-	q.warm = id < s.p.Warmup
-	if s.tr != nil {
-		s.emit(obs.EvArrival, now, q, q.service)
-	}
-	s.queue = append(s.queue, q)
-	if s.classSprints(ci) {
-		q.timeoutEv = s.eng.Schedule(now+s.p.Classes[ci].Timeout, func() { s.onTimeout(q) })
-	}
-	if s.arrived < s.p.NumQueries+s.p.Warmup {
-		s.eng.After(s.arr.Sample(s.rng), s.arrive)
-	}
-	s.dispatch()
-}
-
-func (s *mcState) dispatch() {
-	now := s.eng.Now()
-	for s.free > 0 && len(s.queue) > 0 {
-		q := s.queue[0]
-		s.queue = s.queue[1:]
-		s.free--
-		q.running = true
-		q.start = now
-		q.seg = now
-		q.tau = 0
-		s.running = append(s.running, q)
-		if s.tr != nil {
-			s.emit(obs.EvServiceStart, now, q, now-q.arrival)
-		}
-		if q.pending && s.acct.CanSprint(now) {
-			s.engage(q)
-		} else {
-			q.departEv = s.eng.Schedule(now+q.service, func() { s.depart(q) })
-		}
-	}
-}
-
-func (s *mcState) progress(q *mcQuery, now float64) float64 {
-	rate := 1.0
-	if q.sprint {
-		rate = s.speedups[q.class]
-	}
-	tau := q.tau + (now-q.seg)*rate/q.service
-	return math.Min(tau, 1)
-}
-
-func (s *mcState) onTimeout(q *mcQuery) {
-	now := s.eng.Now()
-	if s.tr != nil {
-		s.emit(obs.EvTimeout, now, q, s.p.Classes[q.class].Timeout)
-	}
-	if !q.running {
-		q.pending = true
-		return
-	}
-	if !q.sprint && s.acct.CanSprint(now) {
-		q.tau = s.progress(q, now)
-		q.seg = now
-		s.engage(q)
-	}
-}
-
-func (s *mcState) engage(q *mcQuery) {
-	now := s.eng.Now()
-	s.engages++
-	if s.tr != nil {
-		level := s.acct.Level(now)
-		if s.exhausted {
-			s.emit(obs.EvRefill, now, q, level)
-		}
-		s.emit(obs.EvSprintStart, now, q, level)
-	}
-	s.exhausted = false
-	s.acct.StartSprint(now)
-	q.sprint = true
-	q.sprinted = true
-	q.sprintStart = now
-	remaining := (1 - q.tau) * q.service / s.speedups[q.class]
-	if q.departEv != nil {
-		s.eng.Cancel(q.departEv)
-	}
-	q.departEv = s.eng.Schedule(now+remaining, func() { s.depart(q) })
-	s.replanBudget()
-}
-
-func (s *mcState) replanBudget() {
-	now := s.eng.Now()
-	if s.budgetEv != nil {
-		s.eng.Cancel(s.budgetEv)
-		s.budgetEv = nil
-	}
-	tte := s.acct.TimeToEmpty(now)
-	if math.IsInf(tte, 1) {
-		return
-	}
-	s.budgetEv = s.eng.Schedule(now+tte, s.onBudgetEmpty)
-}
-
-func (s *mcState) onBudgetEmpty() {
-	now := s.eng.Now()
-	s.budgetEv = nil
-	s.exhaustions++
-	s.exhausted = true
-	if s.tr != nil {
-		active := 0
-		for _, q := range s.running {
-			if q.sprint {
-				active++
-			}
-		}
-		s.tr.Event(obs.QueryEvent{Type: obs.EvBudgetExhausted, Time: now, Query: -1, Value: float64(active)})
-	}
-	for _, q := range s.running {
-		if !q.sprint {
-			continue
-		}
-		q.tau = s.progress(q, now)
-		q.seg = now
-		s.acct.StopSprint(now)
-		q.sprint = false
-		s.res.SprintSeconds += now - q.sprintStart
-		if s.tr != nil {
-			s.emit(obs.EvSprintStop, now, q, now-q.sprintStart)
-		}
-		remaining := (1 - q.tau) * q.service
-		q.departEv = s.eng.Reschedule(q.departEv, now+remaining)
-	}
-	s.replanBudget()
-}
-
-func (s *mcState) depart(q *mcQuery) {
-	now := s.eng.Now()
-	s.res.Duration = now
-	if q.sprint {
-		s.acct.StopSprint(now)
-		q.sprint = false
-		s.res.SprintSeconds += now - q.sprintStart
-		if s.tr != nil {
-			s.emit(obs.EvSprintStop, now, q, now-q.sprintStart)
-		}
-		s.replanBudget()
-	}
-	if s.tr != nil {
-		s.emit(obs.EvDeparture, now, q, now-q.arrival)
-	}
-	if q.timeoutEv != nil {
-		s.eng.Cancel(q.timeoutEv)
-		q.timeoutEv = nil
-	}
-	for i, rq := range s.running {
-		if rq == q {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			break
-		}
-	}
-	q.running = false
-	if !q.warm {
-		rt := now - q.arrival
-		s.res.RTs = append(s.res.RTs, rt)
-		s.res.QueueingTimes = append(s.res.QueueingTimes, q.start-q.arrival)
-		name := s.p.Classes[q.class].Name
-		s.res.ByClass[name] = append(s.res.ByClass[name], rt)
-		if q.sprinted {
-			s.res.SprintedCount++
-		}
-	}
-	s.free++
-	s.dispatch()
+	fired := r.eng.RunAll()
+	out.Engages = r.engages
+	out.Exhaustions = r.exhaustions
+	out.MaxLive = r.qHighWater
+	flushMetrics(total, fired, r.engages, r.exhaustions, clk.Now().Sub(start).Seconds())
+	r.res = nil
+	r.mres = nil
+	return nil
 }

@@ -18,6 +18,17 @@
 // this one schedules events, which is semantically equivalent (see
 // tick_test.go for the cross-validation) and fast enough to answer the
 // thousands of what-if queries policy exploration needs (Section 3.6).
+//
+// Because every consumer — calibration bisection, the sweep engine, the
+// annealing search, colocation packing — bottoms out in millions of Run
+// calls, the hot path is allocation-free: queries live in a slab pool
+// addressed by index, events in sim.PooledEngine's slot pool addressed by
+// generation-checked handles, the FIFO is a ring buffer, and a reusable
+// Runner carries every buffer (including the RNG and budget accountant)
+// across runs. Steady state simulates a query with zero heap allocations
+// (enforced by TestRunnerZeroAllocsPerQuery). The original
+// heap-and-closure implementation is preserved in reference.go, and the
+// differential suite proves the two produce bit-identical results.
 package queuesim
 
 import (
@@ -161,6 +172,16 @@ type Result struct {
 	// exhausts the budget (the Few-to-Many criterion).
 	SprintSeconds float64
 	Duration      float64
+	// Engages counts sprint engagements and Exhaustions budget-drain
+	// episodes over the whole run (including warmup) — the counters the
+	// simulator also flushes to the metrics registry.
+	Engages     int
+	Exhaustions int
+	// MaxLive is the query pool's high-water mark: the largest number of
+	// queries simultaneously resident (queued + in service). It bounds
+	// the simulator's working set — departed queries are recycled, never
+	// retained for the rest of the run.
+	MaxLive int
 }
 
 // BudgetSupply returns the total sprint-seconds the policy made available
@@ -185,50 +206,6 @@ func (r *Result) BudgetUtilization(p Params) float64 {
 
 // MeanRT returns the run's mean response time.
 func (r *Result) MeanRT() float64 { return stats.Mean(r.RTs) }
-
-// query is Algorithm 1's query object.
-type query struct {
-	id          int
-	arrival     float64
-	service     float64
-	start       float64
-	tau         float64 // progress at segment start
-	seg         float64 // segment start time
-	sprint      bool
-	sprintStart float64
-	pending     bool
-	warm        bool
-
-	departEv  *sim.Event
-	timeoutEv *sim.Event
-	running   bool
-	sprinted  bool
-}
-
-// state is the running simulation.
-type state struct {
-	p       Params
-	eng     *sim.Engine
-	rng     *dist.RNG
-	arr     dist.Dist
-	acct    *sprint.Accountant
-	speedup float64
-	tr      obs.QueryTracer // nil when tracing is off
-
-	queue    []*query
-	running  []*query
-	free     int
-	budgetEv *sim.Event
-
-	arrived int
-	// engages and exhaustions feed the end-of-run metric flush;
-	// exhausted marks that the budget has drained since the last
-	// engagement, so the next engagement can emit a refill event.
-	engages     int
-	exhaustions int
-	exhausted   bool
-	res         Result
-}
 
 // simMetrics are the queue simulator's process-wide metrics in the
 // default registry. Simulators accumulate locally and flush once per run,
@@ -261,47 +238,278 @@ func flushMetrics(queries, fired, engages, exhaustions int, elapsed float64) {
 	}
 }
 
-// Run simulates the configured queue and returns measured response times.
-func Run(p Params) (*Result, error) {
+func refillRate(p Params) float64 {
+	if p.RefillTime <= 0 {
+		return 0
+	}
+	return p.BudgetSeconds / p.RefillTime
+}
+
+// seedStride spaces per-replication seeds: rep i runs with
+// Seed + i*seedStride (the splitmix64 golden-gamma increment), matching
+// the derivation RunReps, Predict and calib's dataset sharding all use.
+const seedStride = 0x9e3779b97f4a7c15
+
+// repSeed derives replication i's seed from the base seed.
+func repSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*seedStride
+}
+
+// query is Algorithm 1's query object, pooled: queries live in a Runner's
+// slab and are addressed by index. Event handles are generation-checked,
+// so the handles of fired or cancelled events held here go harmlessly
+// stale.
+type query struct {
+	arrival     float64
+	service     float64
+	start       float64
+	tau         float64 // progress at segment start
+	seg         float64 // segment start time
+	sprintStart float64
+
+	departEv  sim.Handle
+	timeoutEv sim.Handle
+
+	id    int32
+	class int32
+
+	sprint   bool
+	pending  bool
+	warm     bool
+	running  bool
+	sprinted bool
+}
+
+// ringQ is a growable FIFO ring buffer of query-pool indices. It replaces
+// the old head-shifting slice (s.queue = s.queue[1:]), which pinned every
+// departed query in the backing array for the whole run; the ring reuses
+// its buffer and holds only the currently waiting queries.
+type ringQ struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (q *ringQ) reset()   { q.head, q.n = 0, 0 }
+func (q *ringQ) len() int { return q.n }
+
+func (q *ringQ) push(v int32) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+func (q *ringQ) pop() int32 {
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
+
+func (q *ringQ) grow() {
+	size := 2 * len(q.buf)
+	if size < 8 {
+		size = 8
+	}
+	nb := make([]int32, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = nb, 0
+}
+
+// classCfg is one query class's precomputed configuration. Run uses a
+// single class; RunMulti one per ClassParams.
+type classCfg struct {
+	name     string
+	weight   float64
+	service  dist.Dist
+	timeout  float64
+	speedup  float64
+	sprintOn bool
+}
+
+// Runner is a reusable simulator instance. Every internal buffer — the
+// event slab and index heap (sim.PooledEngine), the query pool, the FIFO
+// ring, the running set, the RNG and the budget accountant — persists
+// across runs, so replaying simulations back to back performs zero
+// steady-state heap allocations per simulated query. A Runner is not safe
+// for concurrent use; run one per goroutine. The zero value is ready to
+// use.
+type Runner struct {
+	eng      *sim.PooledEngine
+	cbArrive sim.CallbackID
+	cbTimeou sim.CallbackID
+	cbDepart sim.CallbackID
+	cbBudget sim.CallbackID
+
+	rng  dist.RNG
+	acct sprint.Accountant
+
+	pool       []query
+	qfree      []int32
+	queue      ringQ
+	running    []int32
+	qlive      int
+	qHighWater int
+
+	// arrival-distribution cache: repeated runs with the same
+	// (ArrivalKind, ArrivalRate) and no explicit Arrival reuse one
+	// boxed distribution instead of rebuilding it per run.
+	arrKind   dist.Kind
+	arrRate   float64
+	arrCached dist.Dist
+
+	arr       dist.Dist
+	classes   []classCfg
+	tr        obs.QueryTracer
+	multi     bool
+	drawClass bool
+
+	free        int
+	warmup      int
+	total       int
+	budgetEv    sim.Handle
+	arrived     int
+	engages     int
+	exhaustions int
+	exhausted   bool
+
+	res  *Result
+	mres *MultiResult
+}
+
+// NewRunner returns an empty reusable runner.
+func NewRunner() *Runner { return &Runner{} }
+
+// runnerPool recycles Runners across the package-level entry points (Run,
+// RunReps, Predict, RunMulti), so sweep batches and calibration searches
+// reuse warmed slabs across tasks. Pool reuse only affects buffer
+// capacity, never results: every run fully reinitializes the runner from
+// its Params.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+func getRunner() *Runner  { return runnerPool.Get().(*Runner) }
+func putRunner(r *Runner) { runnerPool.Put(r) }
+
+// resetCore reinitializes the engine and every pooled buffer, keeping
+// capacity. Callbacks are registered once, on first use.
+func (r *Runner) resetCore() {
+	if r.eng == nil {
+		r.eng = sim.NewPooled()
+		r.cbArrive = r.eng.Register(func(int32) { r.arrive() })
+		r.cbTimeou = r.eng.Register(r.onTimeout)
+		r.cbDepart = r.eng.Register(r.depart)
+		r.cbBudget = r.eng.Register(func(int32) { r.onBudgetEmpty() })
+	} else {
+		r.eng.Reset()
+	}
+	r.pool = r.pool[:0]
+	r.qfree = r.qfree[:0]
+	r.queue.reset()
+	r.running = r.running[:0]
+	r.qlive = 0
+	r.qHighWater = 0
+	r.budgetEv = sim.Handle{}
+	r.arrived = 0
+	r.engages = 0
+	r.exhaustions = 0
+	r.exhausted = false
+}
+
+// arrivalFor resolves the interarrival distribution, reusing the cached
+// boxed value when the family and rate are unchanged from the last run.
+func (r *Runner) arrivalFor(p Params) dist.Dist {
+	if p.Arrival != nil {
+		return p.Arrival
+	}
+	//lint:ignore floateq the cache key must match the rate exactly; a near-match would silently change the arrival process
+	if r.arrCached != nil && r.arrKind == p.ArrivalKind && r.arrRate == p.ArrivalRate {
+		return r.arrCached
+	}
+	d := dist.ForRate(p.ArrivalKind, p.ArrivalRate)
+	r.arrKind, r.arrRate, r.arrCached = p.ArrivalKind, p.ArrivalRate, d
+	return d
+}
+
+// sizedFloats returns s emptied for appending n values without growth.
+func sizedFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, 0, n)
+	}
+	return s[:0]
+}
+
+// Run simulates p, writing the result into out. Slices already present in
+// out are reused (truncated and appended in place) when their capacity
+// suffices, so a caller replaying simulations with one Runner and one
+// Result allocates nothing in steady state. On error out is untouched.
+func (r *Runner) RunInto(p Params, out *Result) error {
 	if err := p.validate(); err != nil {
-		return nil, err
+		return err
 	}
 	p = p.withDefaults()
-	arr := p.Arrival
-	if arr == nil {
-		arr = dist.ForRate(p.ArrivalKind, p.ArrivalRate)
-	}
-	var acctOpts []sprint.AccountantOption
-	switch p.Refill {
-	case sprint.RefillPaused:
-		acctOpts = append(acctOpts, sprint.WithPausedRefill())
-	case sprint.RefillWindow:
-		if p.RefillTime > 0 {
-			acctOpts = append(acctOpts, sprint.WithWindowRefill(p.RefillTime))
-		}
-	}
-	s := &state{
-		p:       p,
-		eng:     sim.New(),
-		rng:     dist.NewRNG(p.Seed),
-		arr:     arr,
-		acct:    sprint.NewAccountant(p.BudgetSeconds, refillRate(p), acctOpts...),
-		speedup: p.speedup(),
-		tr:      p.Tracer,
-		free:    p.Slots,
-	}
 	total := p.NumQueries + p.Warmup
 	if total == 0 {
-		return &s.res, nil
+		*out = Result{}
+		return nil
 	}
-	s.res.RTs = make([]float64, 0, p.NumQueries)
-	s.res.QueueingTimes = make([]float64, 0, p.NumQueries)
-	s.eng.Schedule(s.arr.Sample(s.rng), s.arrive)
+	r.resetCore()
+	r.rng.Reseed(p.Seed)
+	r.arr = r.arrivalFor(p)
+	r.acct.Reset(p.BudgetSeconds, refillRate(p), p.Refill, p.RefillTime)
+	r.tr = p.Tracer
+	r.multi = false
+	r.drawClass = false
+	r.classes = append(r.classes[:0], classCfg{
+		service:  p.Service,
+		timeout:  p.Timeout,
+		speedup:  p.speedup(),
+		sprintOn: p.sprintingEnabled(),
+	})
+	r.free = p.Slots
+	r.warmup = p.Warmup
+	r.total = total
+
+	out.RTs = sizedFloats(out.RTs, p.NumQueries)
+	out.QueueingTimes = sizedFloats(out.QueueingTimes, p.NumQueries)
+	out.SprintedCount = 0
+	out.SprintSeconds = 0
+	out.Duration = 0
+	out.Engages = 0
+	out.Exhaustions = 0
+	out.MaxLive = 0
+	r.res = out
+	r.mres = nil
+
+	r.eng.Schedule(r.arr.Sample(&r.rng), r.cbArrive, 0)
 	clk := obs.ClockOr(p.Clock)
 	start := clk.Now()
-	fired := s.eng.RunAll()
-	flushMetrics(total, fired, s.engages, s.exhaustions, clk.Now().Sub(start).Seconds())
-	return &s.res, nil
+	fired := r.eng.RunAll()
+	out.Engages = r.engages
+	out.Exhaustions = r.exhaustions
+	out.MaxLive = r.qHighWater
+	flushMetrics(total, fired, r.engages, r.exhaustions, clk.Now().Sub(start).Seconds())
+	r.res = nil
+	return nil
+}
+
+// Run simulates p on this runner and returns a freshly allocated result.
+func (r *Runner) Run(p Params) (*Result, error) {
+	res := &Result{}
+	if err := r.RunInto(p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run simulates the configured queue and returns measured response times.
+func Run(p Params) (*Result, error) {
+	r := getRunner()
+	defer putRunner(r)
+	return r.Run(p)
 }
 
 // MustRun is Run for static parameters; it panics on error.
@@ -313,188 +521,265 @@ func MustRun(p Params) *Result {
 	return r
 }
 
-func refillRate(p Params) float64 {
-	if p.RefillTime <= 0 {
-		return 0
+// RunReps runs reps serial replications of p on one reusable runner,
+// deriving replication i's seed as Seed + i*seedStride — exactly the
+// common-random-numbers derivation Predict uses — and returns the
+// per-replication results. It is the buffer-reusing primitive behind
+// Predict and the sweep engine's serial evaluations: only the returned
+// Result vectors are freshly allocated (they are the output); all
+// simulator state is shared across replications.
+func RunReps(p Params, reps int) ([]Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
 	}
-	return p.BudgetSeconds / p.RefillTime
+	if reps <= 0 {
+		reps = 1
+	}
+	out := make([]Result, reps)
+	r := getRunner()
+	defer putRunner(r)
+	for i := range out {
+		pi := p
+		pi.Seed = repSeed(p.Seed, i)
+		if err := r.RunInto(pi, &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
-func (s *state) arrive() {
-	now := s.eng.Now()
-	id := s.arrived
-	s.arrived++
-	q := &query{
-		id:      id,
-		arrival: now,
-		service: s.p.Service.Sample(s.rng),
-		warm:    id < s.p.Warmup,
+func (r *Runner) arrive() {
+	now := r.eng.Now()
+	id := r.arrived
+	r.arrived++
+	ci := int32(0)
+	if r.drawClass {
+		ci = r.pickClass()
 	}
-	if s.tr != nil {
-		s.tr.Event(obs.QueryEvent{Type: obs.EvArrival, Time: now, Query: q.id, Value: q.service})
+	qi := r.allocQuery()
+	q := &r.pool[qi]
+	q.id = int32(id)
+	q.class = ci
+	q.arrival = now
+	q.service = r.classes[ci].service.Sample(&r.rng)
+	q.warm = id < r.warmup
+	if r.tr != nil {
+		r.emit(obs.EvArrival, now, qi, q.service)
 	}
-	s.queue = append(s.queue, q)
-	if s.p.sprintingEnabled() {
-		q.timeoutEv = s.eng.Schedule(now+s.p.Timeout, func() { s.onTimeout(q) })
+	r.queue.push(qi)
+	if r.classes[ci].sprintOn {
+		q.timeoutEv = r.eng.Schedule(now+r.classes[ci].timeout, r.cbTimeou, qi)
 	}
-	if s.arrived < s.p.NumQueries+s.p.Warmup {
-		s.eng.After(s.arr.Sample(s.rng), s.arrive)
+	if r.arrived < r.total {
+		r.eng.After(r.arr.Sample(&r.rng), r.cbArrive, 0)
 	}
-	s.dispatch()
+	r.dispatch()
 }
 
-func (s *state) dispatch() {
-	now := s.eng.Now()
-	for s.free > 0 && len(s.queue) > 0 {
-		q := s.queue[0]
-		s.queue = s.queue[1:]
-		s.free--
+func (r *Runner) dispatch() {
+	now := r.eng.Now()
+	for r.free > 0 && r.queue.len() > 0 {
+		qi := r.queue.pop()
+		r.free--
+		q := &r.pool[qi]
 		q.running = true
 		q.start = now
 		q.seg = now
 		q.tau = 0
-		s.running = append(s.running, q)
-		if s.tr != nil {
-			s.tr.Event(obs.QueryEvent{Type: obs.EvServiceStart, Time: now, Query: q.id, Value: now - q.arrival})
+		r.running = append(r.running, qi)
+		if r.tr != nil {
+			r.emit(obs.EvServiceStart, now, qi, now-q.arrival)
 		}
-		if q.pending && s.acct.CanSprint(now) {
-			s.engage(q)
+		if q.pending && r.acct.CanSprint(now) {
+			r.engage(qi)
 		} else {
-			q.departEv = s.eng.Schedule(now+q.service, func() { s.depart(q) })
+			q.departEv = r.eng.Schedule(now+q.service, r.cbDepart, qi)
 		}
 	}
 }
 
 // progress rolls q's completed-work fraction forward to now.
-func (s *state) progress(q *query, now float64) float64 {
+func (r *Runner) progress(q *query, now float64) float64 {
 	rate := 1.0
 	if q.sprint {
-		rate = s.speedup
+		rate = r.classes[q.class].speedup
 	}
 	tau := q.tau + (now-q.seg)*rate/q.service
 	return math.Min(tau, 1)
 }
 
-func (s *state) onTimeout(q *query) {
-	now := s.eng.Now()
-	if s.tr != nil {
-		s.tr.Event(obs.QueryEvent{Type: obs.EvTimeout, Time: now, Query: q.id, Value: s.p.Timeout})
+func (r *Runner) onTimeout(qi int32) {
+	now := r.eng.Now()
+	q := &r.pool[qi]
+	if r.tr != nil {
+		r.emit(obs.EvTimeout, now, qi, r.classes[q.class].timeout)
 	}
 	if !q.running {
 		q.pending = true
 		return
 	}
-	if !q.sprint && s.acct.CanSprint(now) {
-		q.tau = s.progress(q, now)
+	if !q.sprint && r.acct.CanSprint(now) {
+		q.tau = r.progress(q, now)
 		q.seg = now
-		s.engage(q)
+		r.engage(qi)
 	}
 }
 
 // engage applies Equation 1: the remaining execution shrinks by mu/mu_e.
-func (s *state) engage(q *query) {
-	now := s.eng.Now()
-	s.engages++
-	if s.tr != nil {
-		level := s.acct.Level(now)
-		if s.exhausted {
-			s.tr.Event(obs.QueryEvent{Type: obs.EvRefill, Time: now, Query: q.id, Value: level})
+func (r *Runner) engage(qi int32) {
+	now := r.eng.Now()
+	r.engages++
+	q := &r.pool[qi]
+	if r.tr != nil {
+		level := r.acct.Level(now)
+		if r.exhausted {
+			r.emit(obs.EvRefill, now, qi, level)
 		}
-		s.tr.Event(obs.QueryEvent{Type: obs.EvSprintStart, Time: now, Query: q.id, Value: level})
+		r.emit(obs.EvSprintStart, now, qi, level)
 	}
-	s.exhausted = false
-	s.acct.StartSprint(now)
+	r.exhausted = false
+	r.acct.StartSprint(now)
 	q.sprint = true
 	q.sprinted = true
 	q.sprintStart = now
-	remaining := (1 - q.tau) * q.service / s.speedup
-	if q.departEv != nil {
-		s.eng.Cancel(q.departEv)
-	}
-	q.departEv = s.eng.Schedule(now+remaining, func() { s.depart(q) })
-	s.replanBudget()
+	remaining := (1 - q.tau) * q.service / r.classes[q.class].speedup
+	r.eng.Cancel(q.departEv)
+	q.departEv = r.eng.Schedule(now+remaining, r.cbDepart, qi)
+	r.replanBudget()
 }
 
-func (s *state) replanBudget() {
-	now := s.eng.Now()
-	if s.budgetEv != nil {
-		s.eng.Cancel(s.budgetEv)
-		s.budgetEv = nil
-	}
-	tte := s.acct.TimeToEmpty(now)
+func (r *Runner) replanBudget() {
+	now := r.eng.Now()
+	r.eng.Cancel(r.budgetEv)
+	r.budgetEv = sim.Handle{}
+	tte := r.acct.TimeToEmpty(now)
 	if math.IsInf(tte, 1) {
 		return
 	}
-	s.budgetEv = s.eng.Schedule(now+tte, s.onBudgetEmpty)
+	r.budgetEv = r.eng.Schedule(now+tte, r.cbBudget, 0)
 }
 
-func (s *state) onBudgetEmpty() {
-	now := s.eng.Now()
-	s.budgetEv = nil
-	s.exhaustions++
-	s.exhausted = true
-	if s.tr != nil {
+func (r *Runner) onBudgetEmpty() {
+	now := r.eng.Now()
+	r.budgetEv = sim.Handle{}
+	r.exhaustions++
+	r.exhausted = true
+	if r.tr != nil {
 		active := 0
-		for _, q := range s.running {
-			if q.sprint {
+		for _, qi := range r.running {
+			if r.pool[qi].sprint {
 				active++
 			}
 		}
-		s.tr.Event(obs.QueryEvent{Type: obs.EvBudgetExhausted, Time: now, Query: -1, Value: float64(active)})
+		r.tr.Event(obs.QueryEvent{Type: obs.EvBudgetExhausted, Time: now, Query: -1, Value: float64(active)})
 	}
-	for _, q := range s.running {
+	for _, qi := range r.running {
+		q := &r.pool[qi]
 		if !q.sprint {
 			continue
 		}
-		q.tau = s.progress(q, now)
+		q.tau = r.progress(q, now)
 		q.seg = now
-		s.acct.StopSprint(now)
+		r.acct.StopSprint(now)
 		q.sprint = false
-		s.res.SprintSeconds += now - q.sprintStart
-		if s.tr != nil {
-			s.tr.Event(obs.QueryEvent{Type: obs.EvSprintStop, Time: now, Query: q.id, Value: now - q.sprintStart})
+		r.res.SprintSeconds += now - q.sprintStart
+		if r.tr != nil {
+			r.emit(obs.EvSprintStop, now, qi, now-q.sprintStart)
 		}
 		remaining := (1 - q.tau) * q.service
-		q.departEv = s.eng.Reschedule(q.departEv, now+remaining)
+		q.departEv = r.eng.Reschedule(q.departEv, now+remaining)
 	}
-	s.replanBudget()
+	r.replanBudget()
 }
 
-func (s *state) depart(q *query) {
-	now := s.eng.Now()
-	s.res.Duration = now
+func (r *Runner) depart(qi int32) {
+	now := r.eng.Now()
+	r.res.Duration = now
+	q := &r.pool[qi]
 	if q.sprint {
-		s.acct.StopSprint(now)
+		r.acct.StopSprint(now)
 		q.sprint = false
-		s.res.SprintSeconds += now - q.sprintStart
-		if s.tr != nil {
-			s.tr.Event(obs.QueryEvent{Type: obs.EvSprintStop, Time: now, Query: q.id, Value: now - q.sprintStart})
+		r.res.SprintSeconds += now - q.sprintStart
+		if r.tr != nil {
+			r.emit(obs.EvSprintStop, now, qi, now-q.sprintStart)
 		}
-		s.replanBudget()
+		r.replanBudget()
 	}
-	if s.tr != nil {
-		s.tr.Event(obs.QueryEvent{Type: obs.EvDeparture, Time: now, Query: q.id, Value: now - q.arrival})
+	if r.tr != nil {
+		r.emit(obs.EvDeparture, now, qi, now-q.arrival)
 	}
-	if q.timeoutEv != nil {
-		s.eng.Cancel(q.timeoutEv)
-		q.timeoutEv = nil
-	}
-	for i, rq := range s.running {
-		if rq == q {
-			s.running = append(s.running[:i], s.running[i+1:]...)
+	r.eng.Cancel(q.timeoutEv)
+	q.timeoutEv = sim.Handle{}
+	for i, ri := range r.running {
+		if ri == qi {
+			r.running = append(r.running[:i], r.running[i+1:]...)
 			break
 		}
 	}
 	q.running = false
 	if !q.warm {
-		s.res.RTs = append(s.res.RTs, now-q.arrival)
-		s.res.QueueingTimes = append(s.res.QueueingTimes, q.start-q.arrival)
+		rt := now - q.arrival
+		r.res.RTs = append(r.res.RTs, rt)
+		r.res.QueueingTimes = append(r.res.QueueingTimes, q.start-q.arrival)
+		if r.mres != nil {
+			name := r.classes[q.class].name
+			r.mres.ByClass[name] = append(r.mres.ByClass[name], rt)
+		}
 		if q.sprinted {
-			s.res.SprintedCount++
+			r.res.SprintedCount++
 		}
 	}
-	s.free++
-	s.dispatch()
+	r.free++
+	r.freeQuery(qi)
+	r.dispatch()
+}
+
+// emit sends one lifecycle event; callers guard on r.tr != nil.
+func (r *Runner) emit(typ obs.EventType, now float64, qi int32, value float64) {
+	q := &r.pool[qi]
+	e := obs.QueryEvent{Type: typ, Time: now, Query: int(q.id), Value: value}
+	if r.multi {
+		e.Class = r.classes[q.class].name
+	}
+	r.tr.Event(e)
+}
+
+// pickClass draws a class index by weight.
+func (r *Runner) pickClass() int32 {
+	u := r.rng.Float64()
+	acc := 0.0
+	for i := range r.classes {
+		acc += r.classes[i].weight
+		if u < acc {
+			return int32(i)
+		}
+	}
+	return int32(len(r.classes) - 1)
+}
+
+// allocQuery takes a slot from the pool, recycling freed indices before
+// growing the slab, and tracks the live high-water mark.
+func (r *Runner) allocQuery() int32 {
+	var qi int32
+	if n := len(r.qfree); n > 0 {
+		qi = r.qfree[n-1]
+		r.qfree = r.qfree[:n-1]
+		r.pool[qi] = query{}
+	} else {
+		r.pool = append(r.pool, query{})
+		qi = int32(len(r.pool) - 1)
+	}
+	r.qlive++
+	if r.qlive > r.qHighWater {
+		r.qHighWater = r.qlive
+	}
+	return qi
+}
+
+// freeQuery returns a departed query's slot to the pool.
+func (r *Runner) freeQuery(qi int32) {
+	r.qfree = append(r.qfree, qi)
+	r.qlive--
 }
 
 // Prediction summarises replicated simulations of one scenario.
@@ -510,6 +795,9 @@ type Prediction struct {
 // Predict runs reps independent replications (in parallel across at most
 // workers goroutines; 0 means NumCPU) and pools their response times.
 // This is the prediction primitive behind Figure 11's throughput study.
+// Replications are sharded in contiguous chunks, one reusable Runner per
+// worker, and each replication's seed depends only on its index — so the
+// pooled output is bit-identical regardless of worker count.
 func Predict(p Params, reps, workers int) (Prediction, error) {
 	if err := p.validate(); err != nil {
 		return Prediction{}, err
@@ -524,22 +812,59 @@ func Predict(p Params, reps, workers int) (Prediction, error) {
 		workers = reps
 	}
 	all := make([][]float64, reps)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < reps; i++ {
-		wg.Add(1)
-		//lint:ignore ctxleak bounded fork-join: replications always complete and are joined before Predict returns
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pi := p
-			pi.Seed = p.Seed + uint64(i)*0x9e3779b97f4a7c15
-			res := MustRun(pi)
-			all[i] = res.RTs
-		}(i)
+	runRep := func(r *Runner, i int) error {
+		pi := p
+		pi.Seed = repSeed(p.Seed, i)
+		var res Result
+		if err := r.RunInto(pi, &res); err != nil {
+			return err
+		}
+		all[i] = res.RTs
+		return nil
 	}
-	wg.Wait()
+	if workers == 1 {
+		r := getRunner()
+		for i := 0; i < reps; i++ {
+			if err := runRep(r, i); err != nil {
+				putRunner(r)
+				return Prediction{}, err
+			}
+		}
+		putRunner(r)
+	} else {
+		chunk := (reps + workers - 1) / workers
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > reps {
+				hi = reps
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			//lint:ignore ctxleak bounded fork-join: replications always complete and are joined before Predict returns
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				r := getRunner()
+				defer putRunner(r)
+				for i := lo; i < hi; i++ {
+					if err := runRep(r, i); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return Prediction{}, err
+			}
+		}
+	}
 	pooled := make([]float64, 0, reps*p.NumQueries)
 	for _, rts := range all {
 		pooled = append(pooled, rts...)

@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mdsprint/internal/dist"
+)
+
+// recorder wires a PooledEngine to a log of (arg, time) firings.
+type recorder struct {
+	eng  *PooledEngine
+	cb   CallbackID
+	args []int32
+	when []float64
+}
+
+func newRecorder() *recorder {
+	r := &recorder{eng: NewPooled()}
+	r.cb = r.eng.Register(func(arg int32) {
+		r.args = append(r.args, arg)
+		r.when = append(r.when, r.eng.Now())
+	})
+	return r
+}
+
+func TestPooledFiresInTimeOrder(t *testing.T) {
+	r := newRecorder()
+	for i, at := range []float64{5, 1, 3, 2, 4} {
+		r.eng.Schedule(at, r.cb, int32(i))
+	}
+	r.eng.RunAll()
+	if !sort.Float64sAreSorted(r.when) {
+		t.Fatalf("events fired out of order: %v", r.when)
+	}
+	if len(r.args) != 5 {
+		t.Fatalf("fired %d events, want 5", len(r.args))
+	}
+}
+
+func TestPooledSameTimeFIFO(t *testing.T) {
+	r := newRecorder()
+	for i := 0; i < 10; i++ {
+		r.eng.Schedule(7, r.cb, int32(i))
+	}
+	r.eng.RunAll()
+	for i, v := range r.args {
+		if v != int32(i) {
+			t.Fatalf("same-time events not FIFO: %v", r.args)
+		}
+	}
+}
+
+// TestPooledSameTimeFIFOAfterChurn repeats the FIFO-tie check on a slab
+// whose free list has been shuffled by cancellations, so slot indices no
+// longer correlate with scheduling order — the (time, seq) comparator,
+// not slab layout, must carry the ordering.
+func TestPooledSameTimeFIFOAfterChurn(t *testing.T) {
+	r := newRecorder()
+	var hs []Handle
+	for i := 0; i < 16; i++ {
+		hs = append(hs, r.eng.Schedule(1, r.cb, int32(100+i)))
+	}
+	// Cancel in an interleaved order to scramble the free list.
+	for _, i := range []int{3, 11, 0, 7, 15, 4, 8, 1} {
+		if !r.eng.Cancel(hs[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		r.eng.Schedule(2, r.cb, int32(i))
+	}
+	r.eng.RunAll()
+	want := []int32{102, 105, 106, 109, 110, 112, 113, 114, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(r.args) != len(want) {
+		t.Fatalf("fired %v, want %v", r.args, want)
+	}
+	for i := range want {
+		if r.args[i] != want[i] {
+			t.Fatalf("fired %v, want %v", r.args, want)
+		}
+	}
+}
+
+func TestPooledCancelPreventsFiring(t *testing.T) {
+	r := newRecorder()
+	h := r.eng.Schedule(1, r.cb, 1)
+	r.eng.Schedule(2, r.cb, 2)
+	if !r.eng.Cancel(h) {
+		t.Fatal("cancel of a live event returned false")
+	}
+	if r.eng.Cancel(h) {
+		t.Fatal("second cancel of the same handle returned true")
+	}
+	r.eng.RunAll()
+	if len(r.args) != 1 || r.args[0] != 2 {
+		t.Fatalf("fired %v, want [2]", r.args)
+	}
+}
+
+func TestPooledZeroHandleStale(t *testing.T) {
+	r := newRecorder()
+	if r.eng.Cancel(Handle{}) {
+		t.Fatal("cancelling the zero Handle returned true")
+	}
+	if h := r.eng.Reschedule(Handle{}, 5); h != (Handle{}) {
+		t.Fatal("rescheduling the zero Handle returned a live handle")
+	}
+}
+
+// TestPooledCancelAfterFire checks a fired event's handle is stale the
+// moment its callback runs: cancel and reschedule through it are no-ops
+// even though the slot may already host a new event.
+func TestPooledCancelAfterFire(t *testing.T) {
+	r := newRecorder()
+	h := r.eng.Schedule(1, r.cb, 1)
+	r.eng.RunAll()
+	if r.eng.Cancel(h) {
+		t.Fatal("cancelling a fired event's handle returned true")
+	}
+	if got := r.eng.Reschedule(h, 10); got != (Handle{}) {
+		t.Fatal("rescheduling a fired event's handle returned a live handle")
+	}
+	if r.eng.Pending() != 0 {
+		t.Fatalf("pending %d after stale operations, want 0", r.eng.Pending())
+	}
+}
+
+// TestPooledStaleHandleRecycledSlot is the generation-check regression
+// test: after a slot is freed and re-tenanted, the old handle must not
+// reach the new tenant.
+func TestPooledStaleHandleRecycledSlot(t *testing.T) {
+	r := newRecorder()
+	old := r.eng.Schedule(1, r.cb, 1)
+	if !r.eng.Cancel(old) {
+		t.Fatal("cancel failed")
+	}
+	// Reuses the freed slot: same idx, bumped generation.
+	fresh := r.eng.Schedule(2, r.cb, 2)
+	if fresh.idx != old.idx {
+		t.Fatalf("expected slot reuse (old idx %d, fresh idx %d)", old.idx, fresh.idx)
+	}
+	if fresh.gen == old.gen {
+		t.Fatal("recycled slot did not bump its generation")
+	}
+	if r.eng.Cancel(old) {
+		t.Fatal("stale handle cancelled the slot's new tenant")
+	}
+	if got := r.eng.Reschedule(old, 9); got != (Handle{}) {
+		t.Fatal("stale handle rescheduled the slot's new tenant")
+	}
+	r.eng.RunAll()
+	if len(r.args) != 1 || r.args[0] != 2 {
+		t.Fatalf("fired %v, want [2]", r.args)
+	}
+}
+
+// TestPooledFiredSlotReusedDuringCallback checks the documented contract
+// that the firing event's slot is released before its callback runs, so
+// the callback's own Schedule can reuse it.
+func TestPooledFiredSlotReusedDuringCallback(t *testing.T) {
+	eng := NewPooled()
+	var cb CallbackID
+	var fromCallback Handle
+	cb = eng.Register(func(arg int32) {
+		if arg == 1 {
+			fromCallback = eng.Schedule(5, cb, 2)
+		}
+	})
+	h := eng.Schedule(1, cb, 1)
+	eng.Step()
+	if fromCallback.idx != h.idx {
+		t.Fatalf("callback's event got slot %d, want the fired slot %d", fromCallback.idx, h.idx)
+	}
+	if eng.Cancel(h) {
+		t.Fatal("fired handle cancelled the callback's event")
+	}
+	if !eng.Cancel(fromCallback) {
+		t.Fatal("callback's own handle should be live")
+	}
+}
+
+func TestPooledReschedule(t *testing.T) {
+	r := newRecorder()
+	var h Handle
+	h = r.eng.Schedule(10, r.cb, 9)
+	move := r.eng.Register(func(int32) { h = r.eng.Reschedule(h, 3) })
+	r.eng.Schedule(1, move, 0)
+	r.eng.RunAll()
+	if len(r.when) != 1 || r.when[0] != 3 {
+		t.Fatalf("rescheduled event fired at %v, want [3]", r.when)
+	}
+}
+
+// TestPooledRescheduleInvalidatesOldHandle: Reschedule returns a new
+// handle and kills the old one, even when the slot is reused in place.
+func TestPooledRescheduleInvalidatesOldHandle(t *testing.T) {
+	eng := NewPooled()
+	cb := eng.Register(func(int32) {})
+	old := eng.Schedule(5, cb, 0)
+	fresh := eng.Reschedule(old, 8)
+	if fresh == (Handle{}) {
+		t.Fatal("reschedule of a live handle returned the zero Handle")
+	}
+	if eng.Cancel(old) {
+		t.Fatal("old handle still live after Reschedule")
+	}
+	if !eng.Cancel(fresh) {
+		t.Fatal("new handle not live after Reschedule")
+	}
+}
+
+func TestPooledAfter(t *testing.T) {
+	r := newRecorder()
+	chain := r.eng.Register(func(int32) { r.eng.After(2, r.cb, 0) })
+	r.eng.Schedule(4, chain, 0)
+	r.eng.RunAll()
+	if len(r.when) != 1 || r.when[0] != 6 {
+		t.Fatalf("After fired at %v, want [6]", r.when)
+	}
+}
+
+func TestPooledRunRespectsLimit(t *testing.T) {
+	r := newRecorder()
+	for i := 1; i <= 10; i++ {
+		r.eng.Schedule(float64(i), r.cb, int32(i))
+	}
+	if fired := r.eng.Run(5.5); fired != 5 {
+		t.Fatalf("Run(5.5) fired %d, want 5", fired)
+	}
+	if r.eng.Now() != 5.5 {
+		t.Fatalf("clock %v after limited run, want 5.5", r.eng.Now())
+	}
+	if fired := r.eng.Run(100); fired != 5 {
+		t.Fatalf("resumed run fired %d, want 5", fired)
+	}
+}
+
+func TestPooledRunEmpty(t *testing.T) {
+	eng := NewPooled()
+	if eng.Step() {
+		t.Fatal("Step on an empty engine returned true")
+	}
+	if fired := eng.Run(10); fired != 0 {
+		t.Fatalf("Run on empty engine fired %d", fired)
+	}
+	if fired := eng.RunAll(); fired != 0 {
+		t.Fatalf("RunAll on empty engine fired %d", fired)
+	}
+}
+
+func TestPooledPendingAndHighWater(t *testing.T) {
+	eng := NewPooled()
+	cb := eng.Register(func(int32) {})
+	a := eng.Schedule(1, cb, 0)
+	eng.Schedule(2, cb, 0)
+	eng.Schedule(3, cb, 0)
+	if eng.Pending() != 3 || eng.HighWater() != 3 {
+		t.Fatalf("pending %d highwater %d, want 3/3", eng.Pending(), eng.HighWater())
+	}
+	eng.Cancel(a)
+	if eng.Pending() != 2 || eng.HighWater() != 3 {
+		t.Fatalf("pending %d highwater %d after cancel, want 2/3", eng.Pending(), eng.HighWater())
+	}
+	eng.RunAll()
+	if eng.Pending() != 0 || eng.HighWater() != 3 {
+		t.Fatalf("pending %d highwater %d after run, want 0/3", eng.Pending(), eng.HighWater())
+	}
+}
+
+func TestPooledReset(t *testing.T) {
+	r := newRecorder()
+	for i := 0; i < 5; i++ {
+		r.eng.Schedule(float64(i+1), r.cb, int32(i))
+	}
+	r.eng.RunAll()
+	r.eng.Reset()
+	if r.eng.Now() != 0 || r.eng.Pending() != 0 || r.eng.HighWater() != 0 {
+		t.Fatalf("Reset left now=%v pending=%d highwater=%d",
+			r.eng.Now(), r.eng.Pending(), r.eng.HighWater())
+	}
+	// Callbacks survive Reset; the replay must behave like a fresh engine.
+	r.args, r.when = nil, nil
+	for i := 0; i < 5; i++ {
+		r.eng.Schedule(float64(i+1), r.cb, int32(i))
+	}
+	r.eng.RunAll()
+	if len(r.args) != 5 || r.when[4] != 5 {
+		t.Fatalf("post-Reset replay fired %v at %v", r.args, r.when)
+	}
+}
+
+func TestPooledSchedulePastPanics(t *testing.T) {
+	r := newRecorder()
+	r.eng.Schedule(5, r.cb, 0)
+	r.eng.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	r.eng.Schedule(1, r.cb, 0)
+}
+
+func TestPooledUnregisteredCallbackPanics(t *testing.T) {
+	eng := NewPooled()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling an unregistered callback did not panic")
+		}
+	}()
+	eng.Schedule(1, CallbackID(0), 0)
+}
+
+func TestPooledNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a nil callback did not panic")
+		}
+	}()
+	NewPooled().Register(nil)
+}
+
+// TestPooledMatchesEngineRandomized drives both engine implementations
+// through an identical randomized schedule/cancel/reschedule script and
+// requires the identical firing sequence — the engine-level differential
+// behind queuesim's end-to-end suite.
+func TestPooledMatchesEngineRandomized(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%80) + 5
+		rng := dist.NewRNG(seed)
+
+		type firing struct {
+			label int32
+			at    float64
+		}
+		var refFired, poolFired []firing
+
+		ref := New()
+		refEvents := make([]*Event, n)
+		pool := NewPooled()
+		poolCB := pool.Register(func(arg int32) {
+			poolFired = append(poolFired, firing{arg, pool.Now()})
+		})
+		poolHandles := make([]Handle, n)
+
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 100
+			label := int32(i)
+			refEvents[i] = ref.Schedule(at, func() {
+				refFired = append(refFired, firing{label, ref.Now()})
+			})
+			poolHandles[i] = pool.Schedule(at, poolCB, label)
+		}
+		// Cancel a third, reschedule a third (same indices on both).
+		// Cancelled indices are excluded from rescheduling: the lazy
+		// engine happily resurrects a cancelled event's action while the
+		// pooled engine's stale handle is a no-op — a divergence outside
+		// the supported contract (consumers only reschedule live events).
+		cancelled := make(map[int]bool)
+		for i := 0; i < n/3; i++ {
+			idx := rng.Intn(n)
+			cancelled[idx] = true
+			ref.Cancel(refEvents[idx])
+			pool.Cancel(poolHandles[idx])
+		}
+		for i := 0; i < n/3; i++ {
+			idx := rng.Intn(n)
+			at := rng.Float64() * 100
+			if cancelled[idx] {
+				continue
+			}
+			refEvents[idx] = ref.Reschedule(refEvents[idx], at)
+			poolHandles[idx] = pool.Reschedule(poolHandles[idx], at)
+		}
+		ref.RunAll()
+		pool.RunAll()
+
+		if len(refFired) != len(poolFired) {
+			return false
+		}
+		for i := range refFired {
+			if refFired[i] != poolFired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledZeroAllocsSteadyState pins the engine-level allocation
+// budget: once the slab has grown to its working size, a
+// schedule/cancel/reschedule/fire cycle allocates nothing.
+func TestPooledZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	eng := NewPooled()
+	cb := eng.Register(func(int32) {})
+	hs := make([]Handle, 64)
+	cycle := func() {
+		eng.Reset()
+		for i := range hs {
+			hs[i] = eng.Schedule(float64(i), cb, int32(i))
+		}
+		for i := 0; i < 16; i++ {
+			eng.Cancel(hs[i*3])
+		}
+		for i := 0; i < 16; i++ {
+			hs[i*2+1] = eng.Reschedule(hs[i*2+1], float64(100+i))
+		}
+		eng.RunAll()
+	}
+	cycle() // warm the slab
+	allocs := testing.AllocsPerRun(20, cycle)
+	if allocs != 0 {
+		t.Fatalf("steady-state engine cycle allocated %.1f objects, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled gates allocation-budget tests: the race detector
+// instruments allocations, so AllocsPerRun assertions only hold in
+// non-race builds.
+const raceEnabled = false

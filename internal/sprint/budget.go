@@ -82,6 +82,29 @@ func NewAccountant(capacity, refillRate float64, opts ...AccountantOption) *Acco
 	return a
 }
 
+// Reset reinitializes a in place at virtual time zero: capacity and
+// refill rate as in NewAccountant, refill semantics selected by mode
+// (window is the RefillWindow snap interval and is ignored — leaving rate
+// accrual in force — unless positive, mirroring how the queue simulator
+// guards an unset refill time). The bucket starts full. Reset is the
+// allocation-free equivalent of NewAccountant + options for reusable
+// simulator runners; it does not cover soft budgets or initial levels,
+// which remain option-only.
+func (a *Accountant) Reset(capacity, refillRate float64, mode RefillMode, window float64) {
+	if capacity < 0 || refillRate < 0 || math.IsNaN(capacity) || math.IsNaN(refillRate) {
+		panic(fmt.Sprintf("sprint: invalid accountant capacity=%v refill=%v", capacity, refillRate))
+	}
+	*a = Accountant{capacity: capacity, refillRate: refillRate, level: capacity}
+	switch mode {
+	case RefillPaused:
+		a.pauseWhileSprinting = true
+	case RefillWindow:
+		if window > 0 {
+			a.windowRefill = window
+		}
+	}
+}
+
 // ForPolicy builds an accountant implementing p's budget clause.
 func ForPolicy(p Policy, opts ...AccountantOption) *Accountant {
 	if p.Soft {
