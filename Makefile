@@ -55,7 +55,9 @@ cover:
 	check ./internal/sim 95; \
 	check ./internal/explore 95; \
 	check ./internal/fault 90; \
-	check ./internal/online 90
+	check ./internal/online 90; \
+	check ./internal/obs 90; \
+	check ./internal/trace 90
 
 # The experiments suite runs ~2 minutes without the race detector; the
 # detector's 5-10x slowdown overruns go test's default 10m binary
@@ -70,6 +72,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDist$$' -fuzztime 10s ./internal/dist
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadEvents$$' -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz '^FuzzChromeTraceExport$$' -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzRateEstimator$$' -fuzztime 10s ./internal/online
 	$(GO) test -run '^$$' -fuzz '^FuzzRunDeterminism$$' -fuzztime 10s ./internal/queuesim
 
@@ -80,9 +83,13 @@ fuzz-smoke:
 chaos:
 	$(GO) run ./cmd/sprintctl -quiet chaos -all
 
+# bench-obs records the tracing overhead (nil vs ring vs span+ring; see
+# BENCH_obs.json) and then enforces the regression floors in test form:
+# ring tracing <=2x the nil-tracer run, span tracing <=15% over ring.
 .PHONY: bench-obs
 bench-obs:
 	$(GO) test -run '^$$' -bench 'SimulateOne' -benchmem .
+	MDSPRINT_BENCH_OBS=1 $(GO) test -count=1 -run 'TestObsOverheadBudget' .
 
 # alloc-check runs the testing.AllocsPerRun budget tests that pin the
 # simulator hot path at zero steady-state allocations. They self-skip

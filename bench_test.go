@@ -13,6 +13,7 @@ package mdsprint
 // and regenerate the full-scale record with cmd/benchgen -scale full.
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -185,6 +186,69 @@ func BenchmarkSimulateOneTraced(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		queuesim.MustRun(p)
+	}
+}
+
+// BenchmarkSimulateOneSpanTraced adds the span tracer on top of the ring
+// tracer: each run is wrapped in a pipeline-style span, the shape
+// core.PredictCtx produces when sprintctl runs with -trace. Per-event
+// records still go to the ring; the span layer adds one pooled span per
+// run, so its marginal cost over BenchmarkSimulateOneTraced must stay
+// small (TestObsOverheadBudget enforces <=15%).
+func BenchmarkSimulateOneSpanTraced(b *testing.B) {
+	p := benchSimParams(2000)
+	p.Tracer = obs.NewRingTracer(1 << 14)
+	st := obs.NewSpanTracer(obs.SpanOptions{})
+	prev := obs.SetActiveSpanTracer(st)
+	defer obs.SetActiveSpanTracer(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := st.StartSpan("sim.run")
+		queuesim.MustRun(p)
+		sp.End()
+	}
+}
+
+// TestObsOverheadBudget is the bench-obs merge gate in test form: it
+// measures the three SimulateOne variants back to back and enforces the
+// budgets recorded in BENCH_obs.json — enabled ring tracing at most 2x
+// the nil-tracer run, and span tracing at most 15% over the ring-traced
+// run. (The nil-tracer disabled-hook budget is covered by the
+// alloc-check tests; here the interesting regressions are the enabled
+// paths.)
+func TestObsOverheadBudget(t *testing.T) {
+	if os.Getenv("MDSPRINT_BENCH_OBS") == "" {
+		t.Skip("timing gate: wall-clock margins need an otherwise idle machine; run via make bench-obs (MDSPRINT_BENCH_OBS=1)")
+	}
+	if testing.Short() {
+		t.Skip("benchmarks the simulator three ways")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the timing budget")
+	}
+	// Interleave three rounds of the variants and keep each variant's
+	// fastest round: single-shot back-to-back runs on a shared machine
+	// drift by >10%, which would swamp the margins under test.
+	variants := []func(*testing.B){
+		BenchmarkSimulateOne, BenchmarkSimulateOneTraced, BenchmarkSimulateOneSpanTraced,
+	}
+	best := make([]float64, len(variants))
+	for round := 0; round < 3; round++ {
+		for i, bench := range variants {
+			ns := float64(testing.Benchmark(bench).NsPerOp())
+			if round == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	base, ring, span := best[0], best[1], best[2]
+	t.Logf("nil=%.0fns ring=%.0fns (%.1f%% over nil) span+ring=%.0fns (%.1f%% over ring)",
+		base, ring, (ring-base)/base*100, span, (span-ring)/ring*100)
+	if ring > 2.0*base {
+		t.Errorf("ring tracing %.0fns/op exceeds 2x the nil-tracer %.0fns/op", ring, base)
+	}
+	if span > 1.15*ring {
+		t.Errorf("span tracing %.0fns/op exceeds 15%% over the ring-traced %.0fns/op", span, ring)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"mdsprint/internal/fault"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/online"
+	"mdsprint/internal/trace"
 )
 
 // chaosReport is one scenario's replay as written to -out: the scripted
@@ -40,6 +41,7 @@ func cmdChaos(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 0, "override the scenario's seed (0 keeps the scripted one)")
 	out := fs.String("out", "", "write the replay timelines as JSON to this path")
 	metricsOut := fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this path")
+	decisionsOut := fs.String("decisions-out", "", "write every replay's decision-provenance ledger as JSONL to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,7 +73,15 @@ func cmdChaos(ctx context.Context, args []string) error {
 	// Flush partial results even on an interrupt: the deferred writers
 	// run whether the loop finishes or the signal context breaks it.
 	var reports []chaosReport
+	ledger := online.NewDecisionLedger()
 	defer func() {
+		if *decisionsOut != "" && ledger.Len() > 0 {
+			if err := trace.SaveDecisions(*decisionsOut, ledger.Records()); err != nil {
+				logg.Errorf("chaos: writing %s: %v", *decisionsOut, err)
+			} else {
+				logg.Infof("chaos: %d decision record(s) written to %s", ledger.Len(), *decisionsOut)
+			}
+		}
 		if *out != "" && len(reports) > 0 {
 			if err := writeChaosReports(*out, reports); err != nil {
 				logg.Errorf("chaos: writing %s: %v", *out, err)
@@ -97,7 +107,7 @@ func cmdChaos(ctx context.Context, args []string) error {
 		if *seed != 0 {
 			sc.Seed = *seed
 		}
-		res, err := online.RunChaos(sc, online.ChaosOptions{Metrics: obs.Default()})
+		res, err := online.RunChaos(sc, online.ChaosOptions{Metrics: obs.Default(), Ledger: ledger})
 		if err != nil {
 			return fmt.Errorf("chaos: %s: %w", sc.Name, err)
 		}

@@ -15,15 +15,24 @@
 //	    replay a fault-injection scenario against the degradation
 //	    controller and verify its scripted expectations (-chaos <name>
 //	    is a global shorthand; 'chaos -list' enumerates scenarios)
+//	sprintctl monitor [-chaos <name>|all] [-addr host:port [-watch 2s]]
+//	    kubenow-style health view: report only what's broken, stay
+//	    quiet when healthy
+//	sprintctl pipeline [-decisions-out decisions.jsonl]
+//	    run profile → calibrate → sweep → explore → online end to end
+//	    at a small scale (pair with -trace for a full span tree)
 //
 // Profiling writes a JSON dataset; predict/explore train the hybrid model
 // from it on the fly.
 //
 // Global flags (before the command):
 //
-//	-debug-addr host:port   serve /metrics (Prometheus text), /debug/vars
-//	                        (expvar) and /debug/pprof for live
-//	                        introspection of long runs
+//	-debug-addr host:port   serve /metrics (Prometheus text),
+//	                        /debug/health, /debug/vars (expvar) and
+//	                        /debug/pprof for live introspection of long
+//	                        runs
+//	-trace path             record span tracing for the whole run and
+//	                        write a Chrome trace-event JSON on exit
 //	-quiet                  suppress progress narration (errors only)
 //	-v                      verbose narration
 //	-version                print version and exit
@@ -37,12 +46,12 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"runtime/debug"
 	"strings"
 	"syscall"
+	"time"
 
 	"mdsprint/internal/calib"
 	"mdsprint/internal/colocate"
@@ -81,6 +90,7 @@ func run(args []string) int {
 	verbose := globals.Bool("v", false, "verbose progress output")
 	showVersion := globals.Bool("version", false, "print version and exit")
 	chaosName := globals.String("chaos", "", "replay the named chaos scenario and exit ('all' runs every builtin); shorthand for the chaos command")
+	tracePath := globals.String("trace", "", "record span tracing for the whole run and write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this path on exit")
 	globals.Usage = usage
 	if err := globals.Parse(args); err != nil {
 		return 2
@@ -99,11 +109,35 @@ func run(args []string) int {
 	}
 	logg = obs.NewLogger(os.Stderr, level)
 
+	if *tracePath != "" {
+		obs.SetActiveSpanTracer(obs.NewSpanTracer(obs.SpanOptions{}))
+		defer func() {
+			t := obs.SetActiveSpanTracer(nil)
+			spans := t.Drain()
+			if err := trace.SaveChromeTrace(*tracePath, spans); err != nil {
+				logg.Errorf("trace: %v", err)
+			} else {
+				logg.Infof("trace: %d span(s) written to %s", len(spans), *tracePath)
+			}
+		}()
+	}
+
 	if *debugAddr != "" {
-		if err := startDebugServer(*debugAddr); err != nil {
+		srv, err := startDebugServer(*debugAddr)
+		if err != nil {
 			logg.Errorf("sprintctl: %v", err)
 			return 1
 		}
+		// Drain in-flight scrapes before exiting, briefly: a scraper
+		// mid-request on SIGINT gets a complete response, a hung one
+		// cannot hold the process hostage.
+		defer func() {
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(dctx); err != nil {
+				logg.Errorf("debug server shutdown: %v", err)
+			}
+		}()
 	}
 
 	// A clean SIGINT/SIGTERM shutdown: long-running commands watch this
@@ -143,6 +177,10 @@ func run(args []string) int {
 		err = cmdColocate(rest[1:])
 	case "chaos":
 		err = cmdChaos(ctx, rest[1:])
+	case "monitor":
+		err = cmdMonitor(ctx, rest[1:])
+	case "pipeline":
+		err = cmdPipeline(ctx, rest[1:])
 	case "version":
 		fmt.Println(versionString())
 	case "help", "-h", "--help":
@@ -176,23 +214,18 @@ func versionString() string {
 // startDebugServer mounts the observability endpoints on addr and serves
 // them in the background for the life of the process. Listening happens
 // synchronously so port conflicts fail fast.
-func startDebugServer(addr string) error {
+func startDebugServer(addr string) (*obs.DebugServer, error) {
 	obs.PublishDefault()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("debug server: %w", err)
+		return nil, fmt.Errorf("debug server: %w", err)
 	}
-	logg.Infof("debug endpoints on http://%s/metrics, .../debug/vars, .../debug/pprof/", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, obs.DebugMux(obs.Default())); err != nil {
-			logg.Errorf("debug server: %v", err)
-		}
-	}()
-	return nil
+	logg.Infof("debug endpoints on http://%s/metrics, .../debug/health, .../debug/pprof/", ln.Addr())
+	return obs.NewDebugServer(ln, obs.DebugMux(obs.Default())), nil
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|colocate|chaos> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|colocate|chaos|monitor|pipeline> [flags]")
 	fmt.Fprintln(os.Stderr, "       sprintctl -chaos <scenario|all>")
 	fmt.Fprintln(os.Stderr, "       sprintctl -version")
 	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")

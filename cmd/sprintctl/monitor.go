@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mdsprint/internal/fault"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/online"
+)
+
+// cmdMonitor is the kubenow-style health view: it reports only what is
+// broken and stays quiet when everything is healthy.
+//
+//	sprintctl monitor                       health of this process's registry
+//	sprintctl monitor -chaos search-outage  replay a scenario, report its damage
+//	sprintctl monitor -chaos all            every built-in scenario
+//	sprintctl monitor -addr host:port       scrape /debug/health from a live run
+//	sprintctl monitor -addr ... -watch 2s   poll until interrupted (or -count)
+func cmdMonitor(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	chaosName := fs.String("chaos", "", "replay the named chaos scenario into a fresh registry and report its health ('all' replays every builtin)")
+	addr := fs.String("addr", "", "scrape /debug/health from a running sprintctl -debug-addr instead of local state")
+	watch := fs.Duration("watch", 0, "with -addr: poll at this interval until interrupted")
+	count := fs.Int("count", 0, "with -watch: stop after this many polls (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chaosName != "" && *addr != "" {
+		return fmt.Errorf("monitor: -chaos and -addr are mutually exclusive")
+	}
+
+	switch {
+	case *chaosName != "":
+		return monitorChaos(os.Stdout, *chaosName)
+	case *addr != "":
+		return monitorRemote(ctx, os.Stdout, *addr, *watch, *count)
+	default:
+		renderHealth(os.Stdout, "local", obs.EvaluateHealth(obs.Default(), obs.HealthThresholds{}))
+		return nil
+	}
+}
+
+// monitorChaos replays one scenario (or all of them) into fresh
+// registries and reports each replay's health verdict.
+func monitorChaos(w io.Writer, name string) error {
+	var scenarios []fault.Scenario
+	if name == "all" {
+		scenarios = fault.Scenarios()
+	} else {
+		sc, err := fault.ScenarioByName(name)
+		if err != nil {
+			return err
+		}
+		scenarios = []fault.Scenario{sc}
+	}
+	for _, sc := range scenarios {
+		reg := obs.NewRegistry()
+		if _, err := online.RunChaos(sc, online.ChaosOptions{Metrics: reg}); err != nil {
+			return fmt.Errorf("monitor: %s: %w", sc.Name, err)
+		}
+		renderHealth(w, sc.Name, obs.EvaluateHealth(reg, obs.HealthThresholds{}))
+	}
+	return nil
+}
+
+// monitorRemote scrapes /debug/health, once or on a -watch cadence.
+func monitorRemote(ctx context.Context, w io.Writer, addr string, watch time.Duration, count int) error {
+	scrape := func() error {
+		h, err := scrapeHealth(ctx, addr)
+		if err != nil {
+			return err
+		}
+		renderHealth(w, addr, h)
+		return nil
+	}
+	if watch <= 0 {
+		return scrape()
+	}
+	tick := time.NewTicker(watch)
+	defer tick.Stop()
+	for polls := 0; ; {
+		if err := scrape(); err != nil {
+			return err
+		}
+		if polls++; count > 0 && polls >= count {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// scrapeHealth fetches and decodes one /debug/health document. Both 200
+// and 503 are valid answers — 503 just means the verdict is critical.
+func scrapeHealth(ctx context.Context, addr string) (obs.Health, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/health"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return obs.Health{}, fmt.Errorf("monitor: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return obs.Health{}, fmt.Errorf("monitor: %w", err)
+	}
+	defer func() {
+		//lint:ignore errdrop response body close after a full decode
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return obs.Health{}, fmt.Errorf("monitor: %s returned %s", url, resp.Status)
+	}
+	var h obs.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return obs.Health{}, fmt.Errorf("monitor: decoding %s: %w", url, err)
+	}
+	return h, nil
+}
+
+// renderHealth prints one health verdict: a single quiet line when
+// healthy, otherwise only the problems.
+func renderHealth(w io.Writer, label string, h obs.Health) {
+	if h.Healthy {
+		fmt.Fprintf(w, "%s: healthy\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%s: %d problem(s)\n", label, len(h.Problems))
+	for _, p := range h.Problems {
+		fmt.Fprintf(w, "  %-8s %-18s %s\n", strings.ToUpper(p.Severity), p.Check, p.Detail)
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mdsprint/internal/obs"
+)
+
+// TestMonitorChaosQuietOnHealthyScenarios: scenarios whose replay ends
+// healthy and undamaged must produce exactly one quiet line each.
+func TestMonitorChaosQuietOnHealthyScenarios(t *testing.T) {
+	for _, name := range []string{"baseline", "rate-drift"} {
+		var sb strings.Builder
+		if err := monitorChaos(&sb, name); err != nil {
+			t.Fatalf("monitorChaos(%s): %v", name, err)
+		}
+		if got, want := sb.String(), name+": healthy\n"; got != want {
+			t.Errorf("%s output %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestMonitorChaosSurfacesInjectedFailures: the search-outage replay
+// must surface exactly the failures the scenario injects — the demoted
+// tier, the open breaker, and the damage counters — and nothing else.
+func TestMonitorChaosSurfacesInjectedFailures(t *testing.T) {
+	var sb strings.Builder
+	if err := monitorChaos(&sb, "search-outage"); err != nil {
+		t.Fatalf("monitorChaos: %v", err)
+	}
+	out := sb.String()
+	want := []string{"tier-degraded", "breaker-open", "demotions", "breaker-trips", "predict-failures"}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(want)+1 {
+		t.Fatalf("got %d lines, want header + %d problems:\n%s", len(lines), len(want), out)
+	}
+	if !strings.HasPrefix(lines[0], "search-outage: ") {
+		t.Fatalf("header %q", lines[0])
+	}
+	for i, check := range want {
+		if !strings.Contains(lines[i+1], check) {
+			t.Errorf("line %d = %q, want check %q", i+1, lines[i+1], check)
+		}
+	}
+	for _, absent := range []string{"budget-exhaustion", "sprint-saturation"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("uninjected failure %q surfaced:\n%s", absent, out)
+		}
+	}
+	if !strings.Contains(lines[1], "CRITICAL") || !strings.Contains(lines[2], "CRITICAL") {
+		t.Errorf("tier/breaker problems not CRITICAL:\n%s", out)
+	}
+}
+
+// TestMonitorChaosModelDivergenceRecovers: a scenario that degrades and
+// then recovers leaves warnings (the damage happened) but no criticals
+// (nothing is broken now).
+func TestMonitorChaosModelDivergenceRecovers(t *testing.T) {
+	var sb strings.Builder
+	if err := monitorChaos(&sb, "model-divergence"); err != nil {
+		t.Fatalf("monitorChaos: %v", err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "CRITICAL") {
+		t.Errorf("recovered scenario still critical:\n%s", out)
+	}
+	if !strings.Contains(out, "demotions") {
+		t.Errorf("recovered scenario hides its demotions:\n%s", out)
+	}
+}
+
+func TestMonitorChaosAllCoversEveryScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := monitorChaos(&sb, "all"); err != nil {
+		t.Fatalf("monitorChaos(all): %v", err)
+	}
+	for _, name := range []string{"baseline", "burst-storm", "model-divergence", "rate-drift", "search-outage"} {
+		if !strings.Contains(sb.String(), name+":") {
+			t.Errorf("scenario %s missing from -chaos all output:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestMonitorChaosUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := monitorChaos(&sb, "no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestMonitorRemoteScrape drives the -addr path against a real
+// /debug/health endpoint, healthy and degraded.
+func TestMonitorRemoteScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(obs.DebugMux(reg))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	var sb strings.Builder
+	if err := monitorRemote(context.Background(), &sb, addr, 0, 0); err != nil {
+		t.Fatalf("monitorRemote: %v", err)
+	}
+	if got, want := sb.String(), addr+": healthy\n"; got != want {
+		t.Fatalf("healthy scrape %q, want %q", got, want)
+	}
+
+	// Degrade the registry; the 503 answer must still render.
+	reg.Gauge("mdsprint_online_level", "").Set(1)
+	sb.Reset()
+	if err := monitorRemote(context.Background(), &sb, srv.URL, 0, 0); err != nil {
+		t.Fatalf("monitorRemote degraded: %v", err)
+	}
+	if !strings.Contains(sb.String(), "tier-degraded") {
+		t.Fatalf("degraded scrape:\n%s", sb.String())
+	}
+}
+
+func TestMonitorRemoteWatchCount(t *testing.T) {
+	srv := httptest.NewServer(obs.DebugMux(obs.NewRegistry()))
+	defer srv.Close()
+
+	var sb strings.Builder
+	if err := monitorRemote(context.Background(), &sb, srv.URL, 1, 3); err != nil {
+		t.Fatalf("monitorRemote watch: %v", err)
+	}
+	if got := strings.Count(sb.String(), "healthy"); got != 3 {
+		t.Fatalf("polled %d times, want 3:\n%s", got, sb.String())
+	}
+}
+
+func TestMonitorRemoteBadAddress(t *testing.T) {
+	var sb strings.Builder
+	if err := monitorRemote(context.Background(), &sb, "127.0.0.1:1", 0, 0); err == nil {
+		t.Fatal("unreachable address accepted")
+	}
+}

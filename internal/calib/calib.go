@@ -69,6 +69,10 @@ type Options struct {
 	// DivergentRelError is the achieved relative error above which a fit
 	// counts as divergent for the breaker (default 0.5).
 	DivergentRelError float64
+
+	// span is the tracing parent CalibrateDatasetCtx threads to each
+	// record's search; per-record and per-evaluation spans nest under it.
+	span *obs.Span
 }
 
 // calibMetrics resolves the calibration instrumentation handles.
@@ -199,7 +203,7 @@ func simParams(ds *profiler.Dataset, obs profiler.Observation, rate float64, o O
 // from the memoization cache instead of re-simulating.
 func SimulateRTErr(ds *profiler.Dataset, obs profiler.Observation, rate float64, o Options) (float64, error) {
 	o = o.withDefaults()
-	pred, err := sweep.Or(o.Engine).Evaluate(sweep.Task{
+	pred, err := sweep.Or(o.Engine).EvaluateSpan(o.span, sweep.Task{
 		Params: simParams(ds, obs, rate, o),
 		Reps:   o.Replications,
 	})
@@ -233,6 +237,12 @@ func EffectiveRate(ds *profiler.Dataset, obs profiler.Observation, opts Options)
 		MarginalRate: mum,
 		ObservedRT:   target,
 	}
+	// The record's search is one span; the sweep evaluations it spends
+	// nest under it (via o.span threaded through SimulateRTErr).
+	sp := o.span.StartChild("calib.record")
+	sp.SetFloat("arrival_rate", obs.ArrivalRate)
+	sp.SetFloat("observed_rt", target)
+	o.span = sp
 	// An open breaker degrades immediately: the record falls back to the
 	// prediction-free marginal rate without spending simulator time.
 	if o.Breaker != nil && !o.Breaker.Allow() {
@@ -240,6 +250,9 @@ func EffectiveRate(ds *profiler.Dataset, obs profiler.Observation, opts Options)
 		m := o.metrics()
 		m.records.Inc()
 		m.degraded.Inc()
+		sp.SetBool("degraded", true)
+		sp.SetString("cause", "breaker-open")
+		sp.End()
 		return rec
 	}
 	evals := 0
@@ -281,6 +294,11 @@ func EffectiveRate(ds *profiler.Dataset, obs profiler.Observation, opts Options)
 				o.Breaker.Success()
 			}
 		}
+		sp.SetInt("evals", int64(evals))
+		sp.SetFloat("effective_rate", rec.EffectiveRate)
+		sp.SetBool("converged", !math.IsNaN(relErr) && relErr <= o.Tolerance)
+		sp.SetError(evalErr)
+		sp.End()
 	}()
 
 	if o.Stepping {
@@ -372,6 +390,13 @@ func CalibrateDataset(ds *profiler.Dataset, obs []profiler.Observation, opts Opt
 	return recs
 }
 
+// startCtxSpan starts a span from ctx. A package-level wrapper because
+// the calibration entry points shadow the obs import with their
+// observation parameters.
+func startCtxSpan(ctx context.Context, name string) *obs.Span {
+	return obs.StartSpanCtx(ctx, name)
+}
+
 // CalibrateDatasetCtx is CalibrateDataset honoring cancellation: once
 // ctx is done, queued records are abandoned and ctx's error is
 // returned (records already simulating finish their point).
@@ -380,6 +405,10 @@ func CalibrateDatasetCtx(ctx context.Context, ds *profiler.Dataset, obs []profil
 		ctx = context.Background()
 	}
 	o := opts.withDefaults()
+	sp := startCtxSpan(ctx, "calib.dataset")
+	sp.SetInt("records", int64(len(obs)))
+	defer sp.End()
+	o.span = sp
 	out := make([]Record, len(obs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, o.Workers)

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -66,6 +67,14 @@ type Prediction struct {
 type Model interface {
 	Name() string
 	Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error)
+}
+
+// CtxModel is a Model whose predictions honor a context — both for
+// cancellation and for span tracing (the prediction's spans nest under
+// the context's span). Simulator-backed models implement it.
+type CtxModel interface {
+	Model
+	PredictCtx(ctx context.Context, ds *profiler.Dataset, sc Scenario) (Prediction, error)
 }
 
 // FeatureNames lists the predictive features shared by the forest and the
@@ -176,14 +185,22 @@ func toPrediction(p queuesim.Prediction, rate float64) Prediction {
 	}
 }
 
-// simulate evaluates one scenario through the sweep engine.
-func simulate(e *sweep.Engine, ds *profiler.Dataset, sc Scenario, rate float64, queries, reps int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
+// simulate evaluates one scenario through the sweep engine. The
+// prediction is one "core.predict" span (nested under the context's
+// span, or a root on the active tracer) with the sweep evaluation as
+// its child.
+func simulate(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, sc Scenario, rate float64, queries, reps int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
 	t, err := simTask(ds, sc, rate, queries, reps, seed, tracer)
 	if err != nil {
 		return Prediction{}, err
 	}
+	sp := obs.StartSpanCtx(ctx, "core.predict")
+	sp.SetFloat("sprint_rate", rate)
+	sp.SetFloat("timeout_s", sc.Cond.Timeout)
 	start := time.Now()
-	pred, err := sweep.Or(e).Evaluate(t)
+	pred, err := sweep.Or(e).EvaluateSpan(sp, t)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -194,8 +211,9 @@ func simulate(e *sweep.Engine, ds *profiler.Dataset, sc Scenario, rate float64, 
 
 // simulateAll evaluates a batch of scenarios at per-scenario sprint
 // rates, sharded across the engine's workers with results in scenario
-// order.
-func simulateAll(e *sweep.Engine, ds *profiler.Dataset, scs []Scenario, rates []float64, queries, reps int, seed uint64, tracer obs.QueryTracer) ([]Prediction, error) {
+// order. The batch is one "core.predict_batch" span with the sweep
+// batch (and its per-task cache annotations) nested under it.
+func simulateAll(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, scs []Scenario, rates []float64, queries, reps int, seed uint64, tracer obs.QueryTracer) ([]Prediction, error) {
 	tasks := make([]sweep.Task, len(scs))
 	for i, sc := range scs {
 		t, err := simTask(ds, sc, rates[i], queries, reps, seed, tracer)
@@ -204,8 +222,12 @@ func simulateAll(e *sweep.Engine, ds *profiler.Dataset, scs []Scenario, rates []
 		}
 		tasks[i] = t
 	}
+	sp := obs.StartSpanCtx(ctx, "core.predict_batch")
+	sp.SetInt("scenarios", int64(len(scs)))
 	start := time.Now()
-	preds, err := sweep.Or(e).EvaluateAll(tasks)
+	preds, err := sweep.Or(e).EvaluateAllCtx(obs.ContextWithSpan(ctx, sp), tasks)
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -246,12 +268,38 @@ type BatchModel interface {
 	PredictAll(ds *profiler.Dataset, scs []Scenario) ([]Prediction, error)
 }
 
+// BatchCtxModel is a BatchModel whose batch predictions honor a context
+// (cancellation and span tracing).
+type BatchCtxModel interface {
+	BatchModel
+	PredictAllCtx(ctx context.Context, ds *profiler.Dataset, scs []Scenario) ([]Prediction, error)
+}
+
 // Evaluate predicts every observation's condition and collects absolute
 // relative errors, the metric of Figures 7-10. Models implementing
 // BatchModel are scored as one sweep; others fall back to serial
 // Predict calls (the two paths are bit-identical — see the sweep
 // engine's determinism contract).
 func Evaluate(m Model, ds *profiler.Dataset, obs []profiler.Observation) (Evaluation, error) {
+	return EvaluateCtx(context.Background(), m, ds, obs)
+}
+
+// EvaluateCtx is Evaluate honoring cancellation and span tracing: the
+// whole evaluation is one "core.evaluate" span, and context-aware
+// models nest their prediction spans under it.
+func EvaluateCtx(ctx context.Context, m Model, ds *profiler.Dataset, observations []profiler.Observation) (Evaluation, error) {
+	sp := obs.StartSpanCtx(ctx, "core.evaluate")
+	sp.SetString("model", m.Name())
+	sp.SetInt("observations", int64(len(observations)))
+	ctx = obs.ContextWithSpan(ctx, sp)
+	ev, err := evaluate(ctx, m, ds, observations)
+	sp.SetError(err)
+	sp.End()
+	return ev, err
+}
+
+// evaluate is EvaluateCtx's body.
+func evaluate(ctx context.Context, m Model, ds *profiler.Dataset, obs []profiler.Observation) (Evaluation, error) {
 	ev := Evaluation{
 		Predicted: make([]float64, 0, len(obs)),
 		Observed:  make([]float64, 0, len(obs)),
@@ -263,14 +311,26 @@ func Evaluate(m Model, ds *profiler.Dataset, obs []profiler.Observation) (Evalua
 		for i, o := range obs {
 			scs[i] = Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate}
 		}
-		batch, err := bm.PredictAll(ds, scs)
+		var batch []Prediction
+		var err error
+		if bcm, ok := bm.(BatchCtxModel); ok {
+			batch, err = bcm.PredictAllCtx(ctx, ds, scs)
+		} else {
+			batch, err = bm.PredictAll(ds, scs)
+		}
 		if err != nil {
 			return Evaluation{}, fmt.Errorf("core: evaluating batch: %w", err)
 		}
 		preds = batch
 	} else {
 		for _, o := range obs {
-			pred, err := m.Predict(ds, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
+			var pred Prediction
+			var err error
+			if cm, ok := m.(CtxModel); ok {
+				pred, err = cm.PredictCtx(ctx, ds, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
+			} else {
+				pred, err = m.Predict(ds, Scenario{Cond: o.Cond, ArrivalRate: o.ArrivalRate})
+			}
 			if err != nil {
 				return Evaluation{}, fmt.Errorf("core: evaluating %s: %w", o.Cond, err)
 			}
@@ -368,18 +428,28 @@ func (n *NoML) simSizes() (queries, reps int) {
 }
 
 func (n *NoML) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
+	return n.PredictCtx(context.Background(), ds, sc)
+}
+
+// PredictCtx is Predict honoring cancellation and span tracing.
+func (n *NoML) PredictCtx(ctx context.Context, ds *profiler.Dataset, sc Scenario) (Prediction, error) {
 	queries, reps := n.simSizes()
-	return simulate(n.resolveEngine(), ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Seed, n.Tracer)
+	return simulate(ctx, n.resolveEngine(), ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Seed, n.Tracer)
 }
 
 // PredictAll scores a batch of scenarios as one sweep.
 func (n *NoML) PredictAll(ds *profiler.Dataset, scs []Scenario) ([]Prediction, error) {
+	return n.PredictAllCtx(context.Background(), ds, scs)
+}
+
+// PredictAllCtx is PredictAll honoring cancellation and span tracing.
+func (n *NoML) PredictAllCtx(ctx context.Context, ds *profiler.Dataset, scs []Scenario) ([]Prediction, error) {
 	queries, reps := n.simSizes()
 	rates := make([]float64, len(scs))
 	for i, sc := range scs {
 		rates[i] = conditionMarginal(ds, sc.Cond)
 	}
-	return simulateAll(n.resolveEngine(), ds, scs, rates, queries, reps, n.Seed, n.Tracer)
+	return simulateAll(ctx, n.resolveEngine(), ds, scs, rates, queries, reps, n.Seed, n.Tracer)
 }
 
 // ensure interface conformance.
@@ -432,6 +502,21 @@ type HybridOptions struct {
 // TrainHybrid calibrates effective sprint rates for every training
 // observation and fits the random decision forest on them.
 func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
+	return TrainHybridCtx(context.Background(), sets, o)
+}
+
+// TrainHybridCtx is TrainHybrid honoring cancellation and span tracing:
+// training is one "core.train_hybrid" span with each dataset's
+// calibration (and its per-record searches) and the forest fit nested
+// under it.
+func TrainHybridCtx(ctx context.Context, sets []TrainingSet, o HybridOptions) (h *Hybrid, err error) {
+	sp := obs.StartSpanCtx(ctx, "core.train_hybrid")
+	sp.SetInt("training_sets", int64(len(sets)))
+	ctx = obs.ContextWithSpan(ctx, sp)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	if len(sets) == 0 {
 		return nil, fmt.Errorf("core: no training sets")
 	}
@@ -448,7 +533,10 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 	var samples []forest.Sample
 	var records []calib.Record
 	for _, set := range sets {
-		recs := calib.CalibrateDataset(set.Dataset, set.Observations, copts)
+		recs, err := calib.CalibrateDatasetCtx(ctx, set.Dataset, set.Observations, copts)
+		if err != nil {
+			return nil, err
+		}
 		for i, rec := range recs {
 			obs := set.Observations[i]
 			samples = append(samples, forest.Sample{
@@ -466,11 +554,15 @@ func TrainHybrid(sets []TrainingSet, o HybridOptions) (*Hybrid, error) {
 	if fcfg.Seed == 0 {
 		fcfg.Seed = o.Seed + 1
 	}
+	fsp := sp.StartChild("forest.train")
+	fsp.SetInt("samples", int64(len(samples)))
 	f, err := forest.Train(samples, FeatureNames(), fcfg)
+	fsp.SetError(err)
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
-	h := &Hybrid{
+	h = &Hybrid{
 		forest:     f,
 		records:    records,
 		simQueries: o.SimQueries,
@@ -522,18 +614,28 @@ func (h *Hybrid) EffectiveRate(ds *profiler.Dataset, sc Scenario) float64 {
 // Predict runs the Figure 2 pipeline: features -> forest -> effective
 // sprint rate -> timeout-aware queue simulation -> response time.
 func (h *Hybrid) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
-	return simulate(h.engine, ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.seed, h.tracer)
+	return h.PredictCtx(context.Background(), ds, sc)
+}
+
+// PredictCtx is Predict honoring cancellation and span tracing.
+func (h *Hybrid) PredictCtx(ctx context.Context, ds *profiler.Dataset, sc Scenario) (Prediction, error) {
+	return simulate(ctx, h.engine, ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.seed, h.tracer)
 }
 
 // PredictAll runs the pipeline for a batch of scenarios as one sweep:
 // the forest prices every scenario's effective rate up front, then the
 // engine shards (and memoizes) the queue simulations.
 func (h *Hybrid) PredictAll(ds *profiler.Dataset, scs []Scenario) ([]Prediction, error) {
+	return h.PredictAllCtx(context.Background(), ds, scs)
+}
+
+// PredictAllCtx is PredictAll honoring cancellation and span tracing.
+func (h *Hybrid) PredictAllCtx(ctx context.Context, ds *profiler.Dataset, scs []Scenario) ([]Prediction, error) {
 	rates := make([]float64, len(scs))
 	for i, sc := range scs {
 		rates[i] = h.EffectiveRate(ds, sc)
 	}
-	return simulateAll(h.engine, ds, scs, rates, h.simQueries, h.simReps, h.seed, h.tracer)
+	return simulateAll(ctx, h.engine, ds, scs, rates, h.simQueries, h.simReps, h.seed, h.tracer)
 }
 
 // Records exposes the calibrated training rows (for diagnostics and the

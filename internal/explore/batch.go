@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
 )
 
 // BatchObjective scores a cohort of candidate points in one call and
@@ -69,6 +70,18 @@ func MinimizeBatchCtx(ctx context.Context, obj BatchObjective, space Space, opts
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := obs.StartSpanCtx(ctx, "explore.minimize")
+	res, err := minimizeBatch(obs.ContextWithSpan(ctx, sp), obj, space, opts)
+	sp.SetInt("evaluations", int64(res.Evaluations))
+	sp.SetFloat("best_rt", res.RT)
+	sp.SetError(err)
+	sp.End()
+	return res, err
+}
+
+// minimizeBatch is MinimizeBatchCtx's body, separated so the wrapper can
+// bracket the whole search in one span.
+func minimizeBatch(ctx context.Context, obj BatchObjective, space Space, opts BatchOptions) (Result, error) {
 	if err := space.validate(); err != nil {
 		return Result{}, err
 	}

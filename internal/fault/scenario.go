@@ -25,6 +25,10 @@ type Phase struct {
 	// NoiseCV is the lognormal sigma of multiplicative noise on
 	// observed response times (0 → 0.05).
 	NoiseCV float64
+	// PrimaryFail makes every primary-model prediction error outright —
+	// a crashed or unreachable model rather than a diverged one. The
+	// controller's search breaker must trip and the chain must demote.
+	PrimaryFail bool
 }
 
 // Degradation levels a scenario expectation refers to, mirroring
@@ -119,6 +123,16 @@ var builtin = []Scenario{
 			{Name: "settle", Steps: 20, RateFactor: 0.85},
 		},
 		Expect: Expect{MaxLevel: LevelHybridIdx, EndLevel: LevelHybridIdx},
+	},
+	{
+		Name: "search-outage",
+		Desc: "primary predictions fail outright from the first decision; the search breaker trips open and the chain serves from NoML",
+		Seed: 31,
+		Phases: []Phase{
+			{Name: "outage", Steps: 30, PrimaryFail: true},
+			{Name: "aftermath", Steps: 20, RateFactor: 1.2, PrimaryFail: true},
+		},
+		Expect: Expect{MaxLevel: LevelNoMLIdx, EndLevel: LevelNoMLIdx},
 	},
 }
 

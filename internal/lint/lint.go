@@ -110,6 +110,7 @@ func Analyzers() []*Analyzer {
 		ExportedDoc,
 		CtxLeak,
 		PoolEscape,
+		SpanLeak,
 	}
 }
 

@@ -34,6 +34,7 @@ var fixtureAnalyzers = map[string][]string{
 	"exporteddoc": {"exporteddoc"},
 	"ctxleak":     {"ctxleak"},
 	"poolescape":  {"poolescape"},
+	"spanleak":    {"spanleak"},
 	"clean":       {},
 	"suppressed":  {},
 	"badsuppress": {"lint", "floateq"},

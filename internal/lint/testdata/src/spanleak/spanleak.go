@@ -1,0 +1,51 @@
+// Package spanleak creates spans with and without matching End calls.
+package spanleak
+
+// Span is a stand-in for the pooled tracing span.
+type Span struct{ name string }
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span { return &Span{name: name} }
+
+// StartChild opens a child span.
+func (s *Span) StartChild(name string) *Span { return &Span{name: name} }
+
+// End closes the span.
+func (s *Span) End() {}
+
+func leaky() { // both spans below are flagged: never ended
+	sp := StartSpan("leaky")
+	child := sp.StartChild("inner")
+	_ = child.name
+}
+
+func balanced() { // deferred and explicit End: clean
+	sp := StartSpan("balanced")
+	defer sp.End()
+	child := sp.StartChild("inner")
+	child.End()
+}
+
+func handsOff() *Span { // ownership transferred by return: clean
+	sp := StartSpan("owner-transfers")
+	return sp
+}
+
+func direct() *Span { return StartSpan("direct") } // returned directly: clean
+
+func closureEnd() { // ended from a closure: clean
+	sp := StartSpan("closure")
+	f := func() { sp.End() }
+	f()
+}
+
+func discarded() {
+	StartSpan("discarded") // flagged: result dropped on the floor
+	_ = StartSpan("blank") // flagged: blank assignment is still a leak
+}
+
+func parked() {
+	//lint:ignore spanleak ended by the collector that drains the registry
+	sp := StartSpan("registered")
+	_ = sp.name
+}

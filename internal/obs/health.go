@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Problem severities. Critical problems mean the control plane is
+// actively degraded; warnings mean it took damage on the way here.
+const (
+	SeverityWarning  = "warning"
+	SeverityCritical = "critical"
+)
+
+// Problem is one failed health check: what was checked, how bad it is,
+// and the observed value against the threshold that tripped it.
+type Problem struct {
+	Check     string  `json:"check"`
+	Severity  string  `json:"severity"`
+	Detail    string  `json:"detail"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// Health is a kubenow-style "only what's broken" verdict over a metrics
+// registry: empty Problems means every check passed and there is
+// nothing to say.
+type Health struct {
+	Healthy  bool      `json:"healthy"`
+	Problems []Problem `json:"problems,omitempty"`
+}
+
+// Critical reports whether any problem is severity-critical.
+func (h Health) Critical() bool {
+	for _, p := range h.Problems {
+		if p.Severity == SeverityCritical {
+			return true
+		}
+	}
+	return false
+}
+
+// HealthThresholds tune the rate-based health checks. Zero values take
+// the defaults.
+type HealthThresholds struct {
+	// BudgetExhaustionsPerRun is the tolerated ratio of simulator
+	// budget exhaustions to simulator runs (default 0.5): above it, the
+	// sprint budget is undersized for the load.
+	BudgetExhaustionsPerRun float64
+	// SprintsPerQuery is the tolerated ratio of sprints to simulated
+	// queries (default 0.9): above it, nearly every query sprints and
+	// timeouts are doing no gating.
+	SprintsPerQuery float64
+}
+
+func (t HealthThresholds) withDefaults() HealthThresholds {
+	if t.BudgetExhaustionsPerRun <= 0 {
+		t.BudgetExhaustionsPerRun = 0.5
+	}
+	if t.SprintsPerQuery <= 0 {
+		t.SprintsPerQuery = 0.9
+	}
+	return t
+}
+
+// Value returns the current value of the named counter or gauge, and
+// whether it is registered. Histograms report false: a summary has no
+// single value.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.metrics[name]
+	if !ok {
+		return 0, false
+	}
+	switch m.kind {
+	case kindCounter:
+		return m.counter.Value(), true
+	case kindGauge:
+		return m.gauge.Value(), true
+	default:
+		return 0, false
+	}
+}
+
+// EvaluateHealth runs the degradation health checks against a registry.
+// Checks read only registered metrics — a metric that was never
+// registered cannot fail its check, so a fresh registry (or a run that
+// never touched the online control plane) is vacuously healthy. Check
+// order is fixed, so reports are deterministic.
+func EvaluateHealth(r *Registry, th HealthThresholds) Health {
+	th = th.withDefaults()
+	r = Or(r)
+	var probs []Problem
+
+	// Degradation level in force: anything above hybrid means the
+	// model-driven tier is out of control right now.
+	if lvl, ok := r.Value("mdsprint_online_level"); ok && lvl > 0 {
+		tier := "noml"
+		if lvl >= 2 {
+			tier = "static"
+		}
+		probs = append(probs, Problem{
+			Check: "tier-degraded", Severity: SeverityCritical,
+			Detail: fmt.Sprintf("fallback chain serving from the %s tier (level %.0f)", tier, lvl),
+			Value:  lvl,
+		})
+	}
+	// Circuit breaker position: open means searches are being refused.
+	//lint:ignore floateq the state gauge only ever holds the exact integers 0, 1, 2
+	if st, ok := r.Value("mdsprint_fault_breaker_state"); ok && st != 0 {
+		sev, state := SeverityCritical, "open"
+		//lint:ignore floateq the state gauge only ever holds the exact integers 0, 1, 2
+		if st == 2 {
+			sev, state = SeverityWarning, "half-open"
+		}
+		probs = append(probs, Problem{
+			Check: "breaker-open", Severity: sev,
+			Detail: fmt.Sprintf("circuit breaker %s", state),
+			Value:  st,
+		})
+	}
+	// Budget exhaustion rate across simulator runs.
+	if runs, ok := r.Value("mdsprint_sim_runs_total"); ok && runs > 0 {
+		if ex, _ := r.Value("mdsprint_sim_budget_exhaustions_total"); ex/runs > th.BudgetExhaustionsPerRun {
+			probs = append(probs, Problem{
+				Check: "budget-exhaustion", Severity: SeverityCritical,
+				Detail: fmt.Sprintf("%.0f of %.0f simulator runs exhausted the sprint budget", ex, runs),
+				Value:  ex / runs, Threshold: th.BudgetExhaustionsPerRun,
+			})
+		}
+	}
+	// Historical damage: demotions, breaker trips and prediction
+	// failures say the run degraded at some point, even if recovered.
+	if d, ok := r.Value("mdsprint_online_demotions_total"); ok && d > 0 {
+		p, _ := r.Value("mdsprint_online_promotions_total")
+		probs = append(probs, Problem{
+			Check: "demotions", Severity: SeverityWarning,
+			Detail: fmt.Sprintf("%.0f fallback demotion(s), %.0f promotion(s)", d, p),
+			Value:  d,
+		})
+	}
+	if tr, ok := r.Value("mdsprint_fault_breaker_trips_total"); ok && tr > 0 {
+		probs = append(probs, Problem{
+			Check: "breaker-trips", Severity: SeverityWarning,
+			Detail: fmt.Sprintf("circuit breaker tripped open %.0f time(s)", tr),
+			Value:  tr,
+		})
+	}
+	if pf, ok := r.Value("mdsprint_online_predict_failures_total"); ok && pf > 0 {
+		probs = append(probs, Problem{
+			Check: "predict-failures", Severity: SeverityWarning,
+			Detail: fmt.Sprintf("%.0f model prediction(s) failed during health tracking", pf),
+			Value:  pf,
+		})
+	}
+	// Sprint saturation: timeouts have stopped gating when every query
+	// sprints.
+	if q, ok := r.Value("mdsprint_sim_queries_total"); ok && q > 0 {
+		if s, _ := r.Value("mdsprint_sim_sprints_total"); s/q > th.SprintsPerQuery {
+			probs = append(probs, Problem{
+				Check: "sprint-saturation", Severity: SeverityWarning,
+				Detail: fmt.Sprintf("%.0f sprints across %.0f queries: timeouts are not gating", s, q),
+				Value:  s / q, Threshold: th.SprintsPerQuery,
+			})
+		}
+	}
+
+	return Health{Healthy: len(probs) == 0, Problems: probs}
+}
+
+// HealthHandler serves EvaluateHealth over r as JSON: 200 when no check
+// is critical, 503 when the control plane is actively degraded (so load
+// balancers and probes can act on status alone).
+func HealthHandler(r *Registry, th HealthThresholds) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		h := EvaluateHealth(r, th)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if h.Critical() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		//lint:ignore errdrop best-effort write; a departed probe client has nowhere to report the error
+		_ = enc.Encode(h)
+	})
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEvaluateHealthQuietWhenHealthy(t *testing.T) {
+	// A fresh registry has nothing registered: vacuously healthy.
+	h := EvaluateHealth(NewRegistry(), HealthThresholds{})
+	if !h.Healthy || len(h.Problems) != 0 || h.Critical() {
+		t.Fatalf("fresh registry unhealthy: %+v", h)
+	}
+
+	// A registry with healthy values registered is just as quiet.
+	r := NewRegistry()
+	r.Gauge("mdsprint_online_level", "").Set(0)
+	r.Gauge("mdsprint_fault_breaker_state", "").Set(0)
+	r.Counter("mdsprint_sim_runs_total", "").Add(100)
+	r.Counter("mdsprint_sim_budget_exhaustions_total", "").Add(10)
+	r.Counter("mdsprint_sim_queries_total", "").Add(1000)
+	r.Counter("mdsprint_sim_sprints_total", "").Add(400)
+	h = EvaluateHealth(r, HealthThresholds{})
+	if !h.Healthy || len(h.Problems) != 0 {
+		t.Fatalf("healthy metrics reported problems: %+v", h)
+	}
+}
+
+func TestEvaluateHealthSurfacesFailures(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("mdsprint_online_level", "").Set(1)
+	r.Gauge("mdsprint_fault_breaker_state", "").Set(1)
+	r.Counter("mdsprint_online_demotions_total", "").Inc()
+	r.Counter("mdsprint_fault_breaker_trips_total", "").Inc()
+	r.Counter("mdsprint_online_predict_failures_total", "").Add(7)
+
+	h := EvaluateHealth(r, HealthThresholds{})
+	if h.Healthy || !h.Critical() {
+		t.Fatalf("degraded registry judged healthy: %+v", h)
+	}
+	want := []string{"tier-degraded", "breaker-open", "demotions", "breaker-trips", "predict-failures"}
+	if len(h.Problems) != len(want) {
+		t.Fatalf("got %d problems %+v, want %v", len(h.Problems), h.Problems, want)
+	}
+	for i, p := range h.Problems {
+		if p.Check != want[i] {
+			t.Errorf("problem %d is %q, want %q", i, p.Check, want[i])
+		}
+	}
+	if h.Problems[0].Severity != SeverityCritical || h.Problems[1].Severity != SeverityCritical {
+		t.Errorf("tier/breaker problems not critical: %+v", h.Problems[:2])
+	}
+	if h.Problems[2].Severity != SeverityWarning {
+		t.Errorf("demotions not a warning: %+v", h.Problems[2])
+	}
+}
+
+func TestEvaluateHealthHalfOpenIsWarning(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("mdsprint_fault_breaker_state", "").Set(2)
+	h := EvaluateHealth(r, HealthThresholds{})
+	if len(h.Problems) != 1 || h.Problems[0].Severity != SeverityWarning || h.Critical() {
+		t.Fatalf("half-open breaker: %+v", h)
+	}
+	if !strings.Contains(h.Problems[0].Detail, "half-open") {
+		t.Fatalf("detail %q does not name the half-open state", h.Problems[0].Detail)
+	}
+}
+
+func TestEvaluateHealthBudgetExhaustion(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mdsprint_sim_runs_total", "").Add(10)
+	r.Counter("mdsprint_sim_budget_exhaustions_total", "").Add(8)
+	h := EvaluateHealth(r, HealthThresholds{})
+	if len(h.Problems) != 1 || h.Problems[0].Check != "budget-exhaustion" {
+		t.Fatalf("exhaustion rate 0.8: %+v", h)
+	}
+	if h.Problems[0].Severity != SeverityCritical || h.Problems[0].Threshold != 0.5 {
+		t.Fatalf("exhaustion problem: %+v", h.Problems[0])
+	}
+	// Below a raised threshold, no problem.
+	h = EvaluateHealth(r, HealthThresholds{BudgetExhaustionsPerRun: 0.9})
+	if !h.Healthy {
+		t.Fatalf("exhaustion rate 0.8 vs threshold 0.9: %+v", h)
+	}
+}
+
+func TestEvaluateHealthSprintSaturation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mdsprint_sim_queries_total", "").Add(100)
+	r.Counter("mdsprint_sim_sprints_total", "").Add(95)
+	h := EvaluateHealth(r, HealthThresholds{})
+	if len(h.Problems) != 1 || h.Problems[0].Check != "sprint-saturation" ||
+		h.Problems[0].Severity != SeverityWarning {
+		t.Fatalf("sprint saturation: %+v", h)
+	}
+}
+
+func TestRegistryValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(3)
+	r.Gauge("g", "").Set(-1.5)
+	r.Histogram("h", "", 0).Observe(1)
+
+	if v, ok := r.Value("c"); !ok || v != 3 {
+		t.Errorf("counter value %v %v", v, ok)
+	}
+	if v, ok := r.Value("g"); !ok || v != -1.5 {
+		t.Errorf("gauge value %v %v", v, ok)
+	}
+	if _, ok := r.Value("h"); ok {
+		t.Error("histogram reported a single value")
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Error("unregistered name reported a value")
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.Value("c"); ok {
+		t.Error("nil registry reported a value")
+	}
+}
+
+// TestHealthEndpointGolden pins the /debug/health wire format: the JSON
+// document, its content type, and the 200/503 status split.
+func TestHealthEndpointGolden(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("content-type %q", ct)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get()
+	if code != http.StatusOK {
+		t.Fatalf("healthy status %d", code)
+	}
+	if got, want := strings.TrimSpace(body), `{
+  "healthy": true
+}`; got != want {
+		t.Fatalf("healthy body:\n%s\nwant:\n%s", got, want)
+	}
+
+	r.Gauge("mdsprint_online_level", "").Set(2)
+	r.Counter("mdsprint_online_demotions_total", "").Add(2)
+	code, body = get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("critical status %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if h.Healthy || len(h.Problems) != 2 {
+		t.Fatalf("critical body: %+v", h)
+	}
+	if h.Problems[0].Check != "tier-degraded" || !strings.Contains(h.Problems[0].Detail, "static") {
+		t.Fatalf("first problem: %+v", h.Problems[0])
+	}
+}
+
+func TestDebugMuxPprofRoutes(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(NewRegistry()))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		//lint:ignore errdrop drained smoke-test response body
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+}
+
+// TestDebugServerDrainsInflightScrapes is the graceful-shutdown
+// contract: Shutdown must let a scrape that is already being served
+// finish, while refusing new connections.
+func TestDebugServerDrainsInflightScrapes(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, req *http.Request) {
+		close(started)
+		<-release
+		//lint:ignore errdrop best-effort test-handler write
+		_, _ = io.WriteString(w, "drained")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewDebugServer(ln, mux)
+
+	var (
+		wg       sync.WaitGroup
+		body     string
+		scrapeOK error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + s.Addr().String() + "/slow")
+		if err != nil {
+			scrapeOK = err
+			return
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			scrapeOK = err
+			return
+		}
+		body = string(b)
+	}()
+
+	<-started
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Shutdown must block on the in-flight scrape until it is released.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a scrape still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if scrapeOK != nil {
+		t.Fatalf("in-flight scrape failed: %v", scrapeOK)
+	}
+	if body != "drained" {
+		t.Fatalf("in-flight scrape read %q, want %q", body, "drained")
+	}
+
+	// The listener is closed: new connections must be refused.
+	if _, err := net.DialTimeout("tcp", s.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+
+	// A nil server shuts down trivially.
+	var nilSrv *DebugServer
+	if err := nilSrv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("nil Shutdown: %v", err)
+	}
+}

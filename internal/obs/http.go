@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"expvar"
+	"net"
 	"net/http"
 	"net/http/pprof"
 )
@@ -29,6 +31,7 @@ func JSONHandler(r *Registry) http.Handler {
 //
 //	/metrics       Prometheus text exposition of r
 //	/metrics.json  the same registry as JSON
+//	/debug/health  the degradation health verdict (200 ok, 503 critical)
 //	/debug/vars    expvar (Go runtime stats + published registries)
 //	/debug/pprof/  the standard pprof handlers (profile, heap, trace, ...)
 //
@@ -38,6 +41,7 @@ func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.Handle("/debug/health", HealthHandler(r, HealthThresholds{}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -45,4 +49,49 @@ func DebugMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// DebugServer serves a handler in the background with a graceful
+// shutdown path: Shutdown stops accepting connections but lets in-flight
+// scrapes finish, so a SIGINT mid-scrape never truncates a response.
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+	done chan struct{}
+	err  error
+}
+
+// NewDebugServer serves h on ln in a background goroutine and returns
+// immediately. The caller owns nothing: Shutdown (or process exit)
+// closes the listener.
+func NewDebugServer(ln net.Listener, h http.Handler) *DebugServer {
+	s := &DebugServer{
+		srv:  &http.Server{Handler: h},
+		addr: ln.Addr(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *DebugServer) Addr() net.Addr { return s.addr }
+
+// Shutdown drains in-flight requests and stops the server, bounded by
+// ctx. A nil receiver no-ops, so callers without a debug server shut
+// down unconditionally.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-s.done
+	return s.err
 }

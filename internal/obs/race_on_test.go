@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; allocation
+// budgets are skipped under -race because instrumentation allocates.
+const raceEnabled = true

@@ -1,0 +1,455 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements hierarchical pipeline spans: the stage-level
+// complement to QueryEvent's per-query lifecycle stream. A span covers
+// one pipeline stage (calibrate a record, evaluate a sweep task, run an
+// annealing search, make an online decision), carries typed attributes
+// and an error status, and nests under a parent span so a whole
+// calibrate → sweep → explore → online run renders as one tree.
+//
+// Design constraints, mirroring QueryTracer's:
+//
+//   - Nil-safe: a nil *SpanTracer starts nil *Spans, and every Span
+//     method no-ops on a nil receiver, so instrumented code never
+//     branches on "is tracing on". Disabled tracing costs a nil check.
+//   - Pooled: finished spans are recycled through a free list (and
+//     their attribute slices keep their capacity), so steady-state
+//     tracing does not grow the heap per span.
+//   - Bounded: the finished-span buffer holds at most MaxSpans; older
+//     spans are dropped (and counted) rather than growing without bound.
+
+// AttrKind types one span attribute.
+type AttrKind uint8
+
+// The attribute kinds spans carry.
+const (
+	AttrString AttrKind = iota
+	AttrFloat
+	AttrInt
+	AttrBool
+)
+
+// Attr is one typed key/value attribute on a span.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Num  float64
+	Int  int64
+	Bool bool
+}
+
+// attrWire is Attr's JSON form: one value field per kind, pointers so
+// zero values survive round-trips exactly. Non-finite floats ride in S
+// (JSON has no NaN/Inf).
+type attrWire struct {
+	K string   `json:"k"`
+	T string   `json:"t"`
+	S string   `json:"s,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	I *int64   `json:"i,omitempty"`
+	B *bool    `json:"b,omitempty"`
+}
+
+// attrKindNames maps kinds to their wire tags.
+var attrKindNames = [...]string{AttrString: "str", AttrFloat: "float", AttrInt: "int", AttrBool: "bool"}
+
+// MarshalJSON encodes the attribute with its kind tag.
+func (a Attr) MarshalJSON() ([]byte, error) {
+	w := attrWire{K: a.Key, T: attrKindNames[a.Kind]}
+	switch a.Kind {
+	case AttrString:
+		w.S = a.Str
+	case AttrFloat:
+		if math.IsNaN(a.Num) || math.IsInf(a.Num, 0) {
+			w.S = formatValue(a.Num)
+		} else {
+			v := a.Num
+			w.F = &v
+		}
+	case AttrInt:
+		v := a.Int
+		w.I = &v
+	case AttrBool:
+		v := a.Bool
+		w.B = &v
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes an attribute written by MarshalJSON.
+func (a *Attr) UnmarshalJSON(data []byte) error {
+	var w attrWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*a = Attr{Key: w.K}
+	switch w.T {
+	case "str":
+		a.Kind, a.Str = AttrString, w.S
+	case "float":
+		a.Kind = AttrFloat
+		if w.F != nil {
+			a.Num = *w.F
+		} else {
+			v, err := strconv.ParseFloat(w.S, 64)
+			if err != nil {
+				return fmt.Errorf("obs: attr %q: bad float %q", w.K, w.S)
+			}
+			a.Num = v
+		}
+	case "int":
+		a.Kind = AttrInt
+		if w.I != nil {
+			a.Int = *w.I
+		}
+	case "bool":
+		a.Kind = AttrBool
+		if w.B != nil {
+			a.Bool = *w.B
+		}
+	default:
+		return fmt.Errorf("obs: attr %q: unknown kind %q", w.K, w.T)
+	}
+	return nil
+}
+
+// Value renders the attribute's value for display.
+func (a Attr) Value() string {
+	switch a.Kind {
+	case AttrString:
+		return a.Str
+	case AttrFloat:
+		return formatValue(a.Num)
+	case AttrInt:
+		return strconv.FormatInt(a.Int, 10)
+	default:
+		return strconv.FormatBool(a.Bool)
+	}
+}
+
+// SpanData is one finished span, times in nanoseconds since the
+// tracer's epoch. It is the export currency: Drain returns SpanData,
+// and internal/trace persists it as JSONL or a Chrome trace.
+type SpanData struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	Err     string `json:"err,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall duration.
+func (d SpanData) Duration() time.Duration {
+	return time.Duration(d.EndNS - d.StartNS)
+}
+
+// Attr returns the named attribute and whether it is present.
+func (d SpanData) Attr(key string) (Attr, bool) {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// DefaultMaxSpans bounds a tracer's finished-span buffer when
+// SpanOptions.MaxSpans is zero.
+const DefaultMaxSpans = 1 << 16
+
+// SpanOptions configures a SpanTracer.
+type SpanOptions struct {
+	// Clock supplies span timestamps (nil means SystemClock). Injectable
+	// so instrumented deterministic packages never read the wall clock
+	// themselves, and so tests get reproducible timings.
+	Clock Clock
+	// SampleEvery keeps 1 of every N root spans (<= 1 keeps all).
+	// Children of a sampled-out root are dropped with it.
+	SampleEvery int
+	// MaxSpans bounds the finished-span buffer (0 means
+	// DefaultMaxSpans); the oldest spans are dropped, and counted, once
+	// the bound is hit.
+	MaxSpans int
+}
+
+// SpanTracer starts, pools and collects spans. It is safe for
+// concurrent use; an individual Span is owned by one goroutine at a
+// time (StartChild may be called from a different goroutine than the
+// parent's, which is how batch workers attach their task spans).
+type SpanTracer struct {
+	clock       Clock
+	sampleEvery uint64
+	maxSpans    int
+	epoch       time.Time
+
+	rootSeq atomic.Uint64 // sampling decisions
+	nextID  atomic.Uint64 // span IDs (never zero: zero Parent means root)
+
+	mu       sync.Mutex
+	free     []*Span // recycled span slots
+	done     []*Span // finished spans; a ring once maxSpans is reached
+	doneNext int     // ring cursor (oldest slot) once wrapped
+	dropped  uint64
+	active   int
+	sampled  uint64 // root spans dropped by sampling
+}
+
+// NewSpanTracer returns a tracer with the given options.
+func NewSpanTracer(o SpanOptions) *SpanTracer {
+	max := o.MaxSpans
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	se := uint64(1)
+	if o.SampleEvery > 1 {
+		se = uint64(o.SampleEvery)
+	}
+	clk := ClockOr(o.Clock)
+	return &SpanTracer{clock: clk, sampleEvery: se, maxSpans: max, epoch: clk.Now()}
+}
+
+// Span is one in-flight pipeline stage. The zero value is not used;
+// obtain spans from a tracer (or nil, which every method tolerates).
+type Span struct {
+	tracer *SpanTracer
+	data   SpanData
+	ended  bool
+}
+
+// StartSpan starts a root span. It returns nil on a nil tracer and for
+// sampled-out roots; every Span method no-ops on nil, so callers never
+// branch.
+func (t *SpanTracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.sampleEvery > 1 && t.rootSeq.Add(1)%t.sampleEvery != 1 {
+		t.mu.Lock()
+		t.sampled++
+		t.mu.Unlock()
+		return nil
+	}
+	return t.start(name, 0)
+}
+
+// start allocates (or recycles) a span slot.
+func (t *SpanTracer) start(name string, parent uint64) *Span {
+	now := t.clock.Now().Sub(t.epoch).Nanoseconds()
+	t.mu.Lock()
+	var s *Span
+	if n := len(t.free); n > 0 {
+		s = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		s = &Span{}
+	}
+	t.active++
+	t.mu.Unlock()
+	attrs := s.data.Attrs[:0] // reuse the recycled slot's attr capacity
+	s.data = SpanData{ID: t.nextID.Add(1), Parent: parent, Name: name, StartNS: now, Attrs: attrs}
+	s.tracer = t
+	s.ended = false
+	return s
+}
+
+// StartChild starts a span nested under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.start(name, s.data.ID)
+}
+
+// ID returns the span's tracer-unique id (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
+// SetString attaches a string attribute.
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: AttrString, Str: v})
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: AttrFloat, Num: v})
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: AttrInt, Int: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.data.Attrs = append(s.data.Attrs, Attr{Key: key, Kind: AttrBool, Bool: v})
+}
+
+// SetError marks the span failed with err's message (nil err is a
+// no-op, so unconditional `sp.SetError(err)` before End reads cleanly).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.data.Err = err.Error()
+}
+
+// End finishes the span and hands it to the tracer's finished buffer.
+// Ending twice is a no-op, so a deferred End composes with early Ends.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.tracer
+	s.data.EndNS = t.clock.Now().Sub(t.epoch).Nanoseconds()
+	t.mu.Lock()
+	if len(t.done) < t.maxSpans {
+		t.done = append(t.done, s)
+	} else {
+		old := t.done[t.doneNext]
+		t.done[t.doneNext] = s
+		t.doneNext = (t.doneNext + 1) % len(t.done)
+		t.dropped++
+		old.data.Attrs = old.data.Attrs[:0]
+		t.free = append(t.free, old)
+	}
+	t.active--
+	t.mu.Unlock()
+}
+
+// Drain returns every finished span, oldest first, and recycles their
+// slots. Times are nanoseconds since the tracer's epoch.
+func (t *SpanTracer) Drain() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.done))
+	emit := func(s *Span) {
+		d := s.data
+		if len(d.Attrs) > 0 {
+			d.Attrs = append([]Attr(nil), d.Attrs...)
+		} else {
+			d.Attrs = nil
+		}
+		out = append(out, d)
+		s.data.Attrs = s.data.Attrs[:0]
+		t.free = append(t.free, s)
+	}
+	for i := t.doneNext; i < len(t.done); i++ {
+		emit(t.done[i])
+	}
+	for i := 0; i < t.doneNext; i++ {
+		emit(t.done[i])
+	}
+	t.done = t.done[:0]
+	t.doneNext = 0
+	return out
+}
+
+// Finished returns how many spans await Drain.
+func (t *SpanTracer) Finished() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.done)
+}
+
+// Active returns how many started spans have not Ended.
+func (t *SpanTracer) Active() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// Dropped returns how many finished spans the MaxSpans bound displaced
+// and how many root spans sampling skipped.
+func (t *SpanTracer) Dropped() (overflowed, sampled uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped, t.sampled
+}
+
+// activeSpanTracer is the process-wide tracer sprintctl's -trace flag
+// installs. Instrumented packages reach it through StartSpanCtx when no
+// span rides the context; the disabled path is one atomic load and a
+// nil check.
+var activeSpanTracer atomic.Pointer[SpanTracer]
+
+// ActiveSpanTracer returns the process-wide span tracer, nil when
+// tracing is off.
+func ActiveSpanTracer() *SpanTracer { return activeSpanTracer.Load() }
+
+// SetActiveSpanTracer installs t as the process-wide tracer (nil turns
+// tracing off) and returns the previous one.
+func SetActiveSpanTracer(t *SpanTracer) *SpanTracer { return activeSpanTracer.Swap(t) }
+
+// spanCtxKey keys the span a context carries.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s (ctx unchanged when s is nil).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span ctx carries, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpanCtx starts a span as a child of the context's span, falling
+// back to a root on the active tracer. It returns nil (a no-op span)
+// when neither is present — the disabled-tracing hot path.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	if parent := SpanFromContext(ctx); parent != nil {
+		return parent.StartChild(name)
+	}
+	return ActiveSpanTracer().StartSpan(name)
+}

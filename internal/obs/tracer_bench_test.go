@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// BenchmarkRingTracerEvent is the uncontended cost of recording one
+// lifecycle event.
+func BenchmarkRingTracerEvent(b *testing.B) {
+	tr := NewRingTracer(4096)
+	e := ev(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event(e)
+	}
+}
+
+// BenchmarkRingTracerEventParallel is the contended cost: every
+// simulator worker hammering one shared tracer, the shape parallel
+// Predict replications produce.
+func BenchmarkRingTracerEventParallel(b *testing.B) {
+	tr := NewRingTracer(4096)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		e := ev(2)
+		for pb.Next() {
+			tr.Event(e)
+		}
+	})
+}

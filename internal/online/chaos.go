@@ -47,6 +47,9 @@ type ChaosOptions struct {
 	// Metrics receives controller and injector metrics; nil records
 	// into obs.Default().
 	Metrics *obs.Registry
+	// Ledger, when set, receives every selection's DecisionRecord,
+	// stamped with the replay's virtual time. May be nil.
+	Ledger *DecisionLedger
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -99,12 +102,14 @@ func chaosRT(mu, gain, sweet, lambda, to float64) float64 {
 
 // chaosModel is an analytic stand-in for a trained model: it predicts
 // the ground-truth surface scaled by a phase-scripted bias (1, or 0,
-// means honest; far from 1 models a diverged fit). The shared pointer
-// lets the replay re-script the bias between phases.
+// means honest; far from 1 models a diverged fit). The shared pointers
+// let the replay re-script the bias — or an outright outage — between
+// phases.
 type chaosModel struct {
 	name            string
 	mu, gain, sweet float64
 	bias            *float64
+	fail            *bool
 }
 
 // Name implements core.Model.
@@ -112,6 +117,9 @@ func (m chaosModel) Name() string { return m.name }
 
 // Predict implements core.Model on the synthetic surface.
 func (m chaosModel) Predict(_ *profiler.Dataset, sc core.Scenario) (core.Prediction, error) {
+	if m.fail != nil && *m.fail {
+		return core.Prediction{}, fmt.Errorf("online: chaos model %s scripted outage", m.name)
+	}
 	b := *m.bias
 	if b <= 0 {
 		b = 1
@@ -195,9 +203,15 @@ func RunChaos(sc fault.Scenario, opt ChaosOptions) (*ChaosResult, error) {
 
 	mu := o.ServiceRate
 	primaryBias, fallbackBias := 1.0, 1.0
-	primary := chaosModel{name: "chaos-primary", mu: mu, gain: o.SprintGain, sweet: o.SweetTimeout, bias: &primaryBias}
+	primaryFail := false
+	primary := chaosModel{name: "chaos-primary", mu: mu, gain: o.SprintGain, sweet: o.SweetTimeout, bias: &primaryBias, fail: &primaryFail}
 	fallbck := chaosModel{name: "chaos-fallback", mu: mu, gain: o.SprintGain, sweet: o.SweetTimeout, bias: &fallbackBias}
 
+	// The retune breaker trips on the first failed search: a scripted
+	// outage makes every primary prediction error, so the breaker opens
+	// immediately and the chain's demote-and-retry takes over. Healthy
+	// scenarios never fail a search, so a closed breaker is
+	// behaviour-neutral and existing fingerprints are unchanged.
 	fc, err := NewFallbackController(FallbackConfig{
 		Primary:         primary,
 		Fallback:        fallbck,
@@ -208,6 +222,12 @@ func RunChaos(sc fault.Scenario, opt ChaosOptions) (*ChaosResult, error) {
 		RetuneThreshold: o.RetuneThreshold,
 		Watchdog:        o.Watchdog,
 		Metrics:         o.Metrics,
+		Breaker: fault.NewBreaker(fault.BreakerConfig{
+			Name:             "chaos-retune",
+			FailureThreshold: 1,
+			Metrics:          o.Metrics,
+		}),
+		Ledger: o.Ledger,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +260,7 @@ func RunChaos(sc fault.Scenario, opt ChaosOptions) (*ChaosResult, error) {
 		lambda := o.BaseRate * rateFactor
 		primaryBias = ph.PrimaryBias
 		fallbackBias = ph.FallbackBias
+		primaryFail = ph.PrimaryFail
 		noiseCV := ph.NoiseCV
 		if noiseCV <= 0 {
 			noiseCV = 0.05
@@ -299,6 +320,7 @@ func RunChaos(sc fault.Scenario, opt ChaosOptions) (*ChaosResult, error) {
 				RealizedRate:  real,
 				ObservedRT:    observed,
 			})
+			o.Ledger.StampVirtual(now)
 			step++
 		}
 	}

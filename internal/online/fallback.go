@@ -1,12 +1,14 @@
 package online
 
 import (
+	"context"
 	"fmt"
 
 	"mdsprint/internal/core"
 	"mdsprint/internal/fault"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
+	"mdsprint/internal/sweep"
 )
 
 // FallbackConfig builds a FallbackController.
@@ -32,6 +34,15 @@ type FallbackConfig struct {
 	// Metrics receives level changes and residuals; nil records into
 	// obs.Default().
 	Metrics *obs.Registry
+	// Ledger, when set, receives a DecisionRecord per selection. May be
+	// nil.
+	Ledger *DecisionLedger
+	// Engine is the sweep engine whose cache hit ratio decisions record;
+	// nil reads the process-shared engine.
+	Engine *sweep.Engine
+	// Clock times selections and searches for decision provenance; nil
+	// uses the real clock.
+	Clock obs.Clock
 }
 
 // fallbackMetrics are the degradation-plane instrumentation handles.
@@ -42,6 +53,12 @@ type fallbackMetrics struct {
 	residual     *obs.Histogram
 	predictFails *obs.Counter
 	staticHolds  *obs.Counter
+
+	decisions     *obs.Counter
+	tier          [3]*obs.Counter // per-tier decision counts, indexed by Level
+	decRetunes    *obs.Counter
+	selectSeconds *obs.Histogram
+	searchSeconds *obs.Histogram
 }
 
 // FallbackController is the graceful-degradation control plane of the
@@ -90,13 +107,13 @@ func NewFallbackController(cfg FallbackConfig) (*FallbackController, error) {
 			Model: cfg.Primary, Dataset: cfg.Dataset, Base: cfg.Base,
 			MaxTimeout: cfg.MaxTimeout, AnnealIter: cfg.AnnealIter,
 			Seed: cfg.Seed, RetuneThreshold: cfg.RetuneThreshold,
-			Metrics: cfg.Metrics, Breaker: cfg.Breaker,
+			Metrics: cfg.Metrics, Breaker: cfg.Breaker, Clock: cfg.Clock,
 		},
 		fallback: &Controller{
 			Model: cfg.Fallback, Dataset: cfg.Dataset, Base: cfg.Base,
 			MaxTimeout: cfg.MaxTimeout, AnnealIter: cfg.AnnealIter,
 			Seed: cfg.Seed ^ 0xa5a5a5a55a5a5a5a, RetuneThreshold: cfg.RetuneThreshold,
-			Metrics: cfg.Metrics,
+			Metrics: cfg.Metrics, Clock: cfg.Clock,
 		},
 		active: NewWatchdog(cfg.Watchdog),
 		probe:  NewWatchdog(cfg.Watchdog),
@@ -107,6 +124,16 @@ func NewFallbackController(cfg FallbackConfig) (*FallbackController, error) {
 			residual:     reg.Histogram("mdsprint_online_residual", "active tier's |predicted-observed|/observed residual", 0),
 			predictFails: reg.Counter("mdsprint_online_predict_failures_total", "model predictions that failed during health tracking"),
 			staticHolds:  reg.Counter("mdsprint_online_static_decisions_total", "decisions served from the last-known-good static timeout"),
+
+			decisions: reg.Counter("mdsprint_decision_total", "online timeout selections served"),
+			tier: [3]*obs.Counter{
+				reg.Counter("mdsprint_decision_tier_hybrid_total", "selections served by the hybrid tier"),
+				reg.Counter("mdsprint_decision_tier_noml_total", "selections served by the no-ml tier"),
+				reg.Counter("mdsprint_decision_tier_static_total", "selections served by the static last-known-good tier"),
+			},
+			decRetunes:    reg.Counter("mdsprint_decision_retunes_total", "selections that ran a fresh annealing search"),
+			selectSeconds: reg.Histogram("mdsprint_decision_select_seconds", "wall-clock seconds per online selection", 0),
+			searchSeconds: reg.Histogram("mdsprint_decision_search_seconds", "wall-clock seconds per annealing search inside a selection", 0),
 		},
 	}
 	f.m.level.Set(float64(f.level))
@@ -132,34 +159,103 @@ func (f *FallbackController) LastGoodTimeout() (float64, bool) {
 // itself a health signal: the controller demotes and retries down the
 // chain before giving up.
 func (f *FallbackController) Timeout(rate float64) (float64, error) {
-	to, err := f.timeoutAt(f.level, rate)
+	return f.TimeoutCtx(context.Background(), rate)
+}
+
+// TimeoutCtx is Timeout honoring span tracing: the selection is one
+// "online.decide" span, with one "online.tier" child per tier attempt.
+func (f *FallbackController) TimeoutCtx(ctx context.Context, rate float64) (float64, error) {
+	sp := obs.StartSpanCtx(ctx, "online.decide")
+	to, err := f.decide(sp, rate)
+	sp.SetError(err)
+	sp.End()
+	return to, err
+}
+
+// decide is the selection body: route through the level in force,
+// demoting on failure, then record the decision's provenance.
+func (f *FallbackController) decide(sp *obs.Span, rate float64) (float64, error) {
+	clk := obs.ClockOr(f.cfg.Clock)
+	start := clk.Now()
+	startLevel := f.level
+	to, info, err := f.timeoutAt(f.level, rate, sp)
 	for err != nil && f.level < LevelStatic {
 		f.demote()
-		to, err = f.timeoutAt(f.level, rate)
+		to, info, err = f.timeoutAt(f.level, rate, sp)
 	}
 	if err != nil {
 		return 0, err
 	}
 	f.lastTO, f.lastRate, f.haveTO = to, rate, true
+
+	rec := DecisionRecord{
+		Rate:          rate,
+		Timeout:       to,
+		PredictedRT:   info.PredictedRT,
+		Tier:          f.level.String(),
+		Level:         int(f.level),
+		Retuned:       info.Retuned,
+		Demoted:       f.level > startLevel,
+		BreakerState:  f.breakerState(),
+		CacheHitRatio: sweep.Or(f.cfg.Engine).Stats().HitRate(),
+		SelectNanos:   clk.Now().Sub(start).Nanoseconds(),
+		SearchNanos:   info.SearchNanos,
+	}
+	f.cfg.Ledger.Append(rec)
+	f.m.decisions.Inc()
+	f.m.tier[int(f.level)].Inc()
+	if rec.Retuned {
+		f.m.decRetunes.Inc()
+	}
+	f.m.selectSeconds.Observe(float64(rec.SelectNanos) / 1e9)
+	if rec.SearchNanos > 0 {
+		f.m.searchSeconds.Observe(float64(rec.SearchNanos) / 1e9)
+	}
+	sp.SetString("tier", rec.Tier)
+	sp.SetFloat("timeout_s", to)
+	sp.SetFloat("predicted_rt", rec.PredictedRT)
+	sp.SetBool("retuned", rec.Retuned)
+	sp.SetBool("demoted", rec.Demoted)
+	sp.SetString("breaker", rec.BreakerState)
 	return to, nil
 }
 
-// timeoutAt computes the decision one level would make.
-func (f *FallbackController) timeoutAt(l Level, rate float64) (float64, error) {
+// breakerState names the primary-search breaker's position ("none"
+// without a breaker).
+func (f *FallbackController) breakerState() string {
+	if f.cfg.Breaker == nil {
+		return "none"
+	}
+	return f.cfg.Breaker.State().String()
+}
+
+// timeoutAt computes the decision one level would make, as one
+// "online.tier" span under the selection.
+func (f *FallbackController) timeoutAt(l Level, rate float64, parent *obs.Span) (float64, tierInfo, error) {
+	sp := parent.StartChild("online.tier")
+	sp.SetString("tier", l.String())
+	ctx := obs.ContextWithSpan(context.Background(), sp)
+	var to float64
+	var info tierInfo
+	var err error
 	switch l {
 	case LevelHybrid:
-		return f.primary.Timeout(rate)
+		to, info, err = f.primary.timeout(ctx, rate)
 	case LevelNoML:
-		return f.fallback.Timeout(rate)
+		to, info, err = f.fallback.timeout(ctx, rate)
 	default:
 		if f.haveGood {
 			f.m.staticHolds.Inc()
-			return f.lastGoodTO, nil
+			to = f.lastGoodTO
+		} else {
+			// Nothing banked: the chain bottomed out before any healthy
+			// decision. The prediction-free tier is the only option left.
+			to, info, err = f.fallback.timeout(ctx, rate)
 		}
-		// Nothing banked: the chain bottomed out before any healthy
-		// decision. The prediction-free tier is the only option left.
-		return f.fallback.Timeout(rate)
 	}
+	sp.SetError(err)
+	sp.End()
+	return to, info, err
 }
 
 // model returns the model backing a (non-static) level.

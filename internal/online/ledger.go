@@ -1,0 +1,137 @@
+package online
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// DecisionRecord is the provenance of one (re-)selection: which tier
+// answered, what it predicted, what the search and selection cost, and
+// the fallback/breaker state the decision was made under. Records are
+// exported as JSONL (trace.SaveDecisions) and summarized into the
+// mdsprint_decision_* metrics.
+type DecisionRecord struct {
+	// Seq numbers decisions in ledger order; VirtualTime is the replay's
+	// virtual clock when the decision was stamped (RunChaos), 0 for live
+	// decisions.
+	Seq         int     `json:"seq"`
+	VirtualTime float64 `json:"virtual_time"`
+	// Rate is the arrival-rate estimate the decision answered; Timeout
+	// is the chosen policy; PredictedRT is the serving tier's expected
+	// mean response time at that timeout (0 when the tier is static and
+	// has no model).
+	Rate        float64 `json:"rate"`
+	Timeout     float64 `json:"timeout"`
+	PredictedRT float64 `json:"predicted_rt"`
+	// Tier names the level that served ("hybrid", "noml", "static");
+	// Level is its ordinal. Retuned reports whether this decision ran a
+	// fresh annealing search; Demoted whether serving it demoted the
+	// chain mid-decision.
+	Tier    string `json:"tier"`
+	Level   int    `json:"level"`
+	Retuned bool   `json:"retuned"`
+	Demoted bool   `json:"demoted"`
+	// BreakerState is the primary-search breaker's position at decision
+	// time ("none" when no breaker is configured).
+	BreakerState string `json:"breaker_state"`
+	// CacheHitRatio is the sweep engine's memoization hit rate at
+	// decision time.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// SelectNanos is the wall time of the whole selection; SearchNanos
+	// the portion spent in the annealing search (0 without a retune).
+	SelectNanos int64 `json:"select_nanos"`
+	SearchNanos int64 `json:"search_nanos"`
+	// Fingerprint hashes the deterministic decision fields (seq, level,
+	// timeout, rate, predicted RT, retuned, demoted) — wall times and
+	// cache ratios are excluded, so two replays of one scenario produce
+	// identical fingerprints record for record.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// fingerprint hashes the record's deterministic fields with FNV-64a,
+// matching ChaosResult.Fingerprint's construction.
+func (r DecisionRecord) fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		//lint:ignore errdrop fnv's Write is documented to never fail
+		_, _ = h.Write(buf[:])
+	}
+	word(uint64(r.Seq))
+	word(uint64(r.Level))
+	word(math.Float64bits(r.Timeout))
+	word(math.Float64bits(r.Rate))
+	word(math.Float64bits(r.PredictedRT))
+	flags := uint64(0)
+	if r.Retuned {
+		flags |= 1
+	}
+	if r.Demoted {
+		flags |= 2
+	}
+	word(flags)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DecisionLedger collects DecisionRecords in decision order. It is safe
+// for concurrent use.
+type DecisionLedger struct {
+	mu      sync.Mutex
+	records []DecisionRecord
+	stamped int // records whose VirtualTime has been stamped
+}
+
+// NewDecisionLedger returns an empty ledger.
+func NewDecisionLedger() *DecisionLedger { return &DecisionLedger{} }
+
+// Append assigns the record's sequence number and fingerprint and
+// stores it. A nil ledger ignores the record, so controllers append
+// unconditionally.
+func (l *DecisionLedger) Append(r DecisionRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Seq = len(l.records)
+	r.Fingerprint = r.fingerprint()
+	l.records = append(l.records, r)
+}
+
+// StampVirtual sets VirtualTime on every record appended since the last
+// stamp — the replay loop calls it once per control step, after the
+// step's decision.
+func (l *DecisionLedger) StampVirtual(now float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for ; l.stamped < len(l.records); l.stamped++ {
+		l.records[l.stamped].VirtualTime = now
+	}
+}
+
+// Records returns a copy of the ledger in decision order.
+func (l *DecisionLedger) Records() []DecisionRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]DecisionRecord(nil), l.records...)
+}
+
+// Len returns how many decisions have been recorded.
+func (l *DecisionLedger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}

@@ -1,0 +1,149 @@
+package online
+
+import (
+	"testing"
+
+	"mdsprint/internal/fault"
+	"mdsprint/internal/obs"
+)
+
+func TestDecisionLedgerNilSafety(t *testing.T) {
+	var l *DecisionLedger
+	l.Append(DecisionRecord{})
+	l.StampVirtual(1)
+	if l.Len() != 0 || l.Records() != nil {
+		t.Fatalf("nil ledger leaked state: len=%d records=%v", l.Len(), l.Records())
+	}
+}
+
+func TestDecisionLedgerSequencesAndStamps(t *testing.T) {
+	l := NewDecisionLedger()
+	l.Append(DecisionRecord{Timeout: 10})
+	l.Append(DecisionRecord{Timeout: 20})
+	l.StampVirtual(4)
+	l.Append(DecisionRecord{Timeout: 30})
+	l.StampVirtual(8)
+
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	wantVT := []float64{4, 4, 8}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Errorf("record %d: seq %d", i, r.Seq)
+		}
+		if r.VirtualTime != wantVT[i] {
+			t.Errorf("record %d: virtual time %v, want %v", i, r.VirtualTime, wantVT[i])
+		}
+		if r.Fingerprint == "" {
+			t.Errorf("record %d: empty fingerprint", i)
+		}
+	}
+	if recs[0].Fingerprint == recs[1].Fingerprint {
+		t.Error("distinct decisions share a fingerprint")
+	}
+}
+
+// TestChaosLedgerBitForBitAcrossRuns is the provenance determinism
+// contract: replaying any scenario twice with fresh ledgers must yield
+// the same decision records, fingerprint for fingerprint, and those
+// records must agree with the replay's own step timeline.
+func TestChaosLedgerBitForBitAcrossRuns(t *testing.T) {
+	for _, sc := range fault.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			run := func() (*ChaosResult, []DecisionRecord) {
+				led := NewDecisionLedger()
+				res, err := RunChaos(sc, ChaosOptions{
+					Metrics: obs.NewRegistry(),
+					Ledger:  led,
+				})
+				if err != nil {
+					t.Fatalf("RunChaos: %v", err)
+				}
+				return res, led.Records()
+			}
+			resA, recsA := run()
+			_, recsB := run()
+
+			if len(recsA) == 0 {
+				t.Fatal("replay recorded no decisions")
+			}
+			if len(recsA) != len(resA.Steps) {
+				t.Fatalf("%d decisions for %d steps", len(recsA), len(resA.Steps))
+			}
+			if len(recsA) != len(recsB) {
+				t.Fatalf("run A recorded %d decisions, run B %d", len(recsA), len(recsB))
+			}
+			for i := range recsA {
+				a, b := recsA[i], recsB[i]
+				if a.Fingerprint != b.Fingerprint {
+					t.Fatalf("decision %d fingerprints differ: %s vs %s", i, a.Fingerprint, b.Fingerprint)
+				}
+				if a.Tier != b.Tier || a.Level != b.Level || a.Retuned != b.Retuned ||
+					a.Demoted != b.Demoted || a.BreakerState != b.BreakerState ||
+					a.VirtualTime != b.VirtualTime {
+					t.Fatalf("decision %d provenance differs: %+v vs %+v", i, a, b)
+				}
+				// The decision must agree with the timeline step it served.
+				st := resA.Steps[i]
+				if a.Timeout != st.Timeout || a.Rate != st.EstimatedRate {
+					t.Fatalf("decision %d (to=%v rate=%v) disagrees with step %d (to=%v rate=%v)",
+						i, a.Timeout, a.Rate, st.Step, st.Timeout, st.EstimatedRate)
+				}
+				if a.Seq != i {
+					t.Fatalf("decision %d carries seq %d", i, a.Seq)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSearchOutageProvenance pins the search-outage story in the
+// ledger: the scripted outage fails a search, trips the breaker open,
+// demotes the chain to NoML, and every later decision records that
+// state.
+func TestChaosSearchOutageProvenance(t *testing.T) {
+	sc, err := fault.ScenarioByName("search-outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := NewDecisionLedger()
+	res, err := RunChaos(sc, ChaosOptions{Metrics: obs.NewRegistry(), Ledger: led})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if res.Demotions == 0 {
+		t.Fatal("outage caused no demotions")
+	}
+	recs := led.Records()
+	var demoted, open int
+	for _, r := range recs {
+		if r.Demoted {
+			demoted++
+			if r.Tier != "noml" {
+				t.Errorf("demoting decision served by tier %q, want noml", r.Tier)
+			}
+			if !r.Retuned {
+				t.Error("demote-and-retry decision did not retune")
+			}
+		}
+		if r.BreakerState == "open" {
+			open++
+		}
+	}
+	if demoted == 0 {
+		t.Error("no decision records the mid-decision demotion")
+	}
+	if open == 0 {
+		t.Error("no decision observed the breaker open")
+	}
+	last := recs[len(recs)-1]
+	if last.Tier != "noml" || last.BreakerState != "open" {
+		t.Errorf("final decision tier=%q breaker=%q, want noml/open", last.Tier, last.BreakerState)
+	}
+	if led.Len() != len(res.Steps) {
+		t.Fatalf("%d ledger entries for %d steps", led.Len(), len(res.Steps))
+	}
+}

@@ -6,6 +6,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -159,11 +160,27 @@ type Controller struct {
 	// re-annealing, and search failures/successes feed the breaker. May
 	// be nil.
 	Breaker *fault.Breaker
+	// Clock times the annealing searches for decision provenance; nil
+	// uses the real clock.
+	Clock obs.Clock
 
 	tunedRate    float64
 	currentTO    float64
 	haveDecision bool
 	retunes      int
+	lastPredRT   float64
+}
+
+// tierInfo is the provenance of one tier-level timeout answer.
+type tierInfo struct {
+	// PredictedRT is the model's expected mean RT at the returned
+	// timeout (carried over from the last search when the decision is
+	// cached).
+	PredictedRT float64
+	// Retuned reports whether this answer ran a fresh annealing search;
+	// SearchNanos is that search's wall time (0 when cached).
+	Retuned     bool
+	SearchNanos int64
 }
 
 // recordDecision publishes one re-selection to the metrics registry.
@@ -181,24 +198,34 @@ func (c *Controller) recordDecision(oldTO, newTO, rate float64, first bool) {
 // arrival rate, re-running the model-driven search if the estimate has
 // drifted beyond the threshold since the last decision.
 func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
+	to, _, err := c.timeout(context.Background(), estimatedRate)
+	return to, err
+}
+
+// timeout is Timeout's body, additionally reporting the decision's
+// provenance (predicted RT, whether a search ran, its wall time). The
+// context carries the caller's span, so a context-aware model's
+// prediction spans nest under the decision instead of floating as
+// roots.
+func (c *Controller) timeout(ctx context.Context, estimatedRate float64) (float64, tierInfo, error) {
 	if estimatedRate <= 0 {
-		return 0, fmt.Errorf("online: non-positive rate estimate %v", estimatedRate)
+		return 0, tierInfo{}, fmt.Errorf("online: non-positive rate estimate %v", estimatedRate)
 	}
 	thr := c.RetuneThreshold
 	if thr <= 0 {
 		thr = 0.15
 	}
 	if c.haveDecision && math.Abs(estimatedRate-c.tunedRate)/c.tunedRate <= thr {
-		return c.currentTO, nil
+		return c.currentTO, tierInfo{PredictedRT: c.lastPredRT}, nil
 	}
 	// An open breaker suppresses the search: ride the current decision
 	// (degraded but safe) rather than re-annealing with a model that has
 	// been failing.
 	if c.Breaker != nil && !c.Breaker.Allow() {
 		if c.haveDecision {
-			return c.currentTO, nil
+			return c.currentTO, tierInfo{PredictedRT: c.lastPredRT}, nil
 		}
-		return 0, fmt.Errorf("online: retune breaker open before any decision")
+		return 0, tierInfo{}, fmt.Errorf("online: retune breaker open before any decision")
 	}
 	maxTO := c.MaxTimeout
 	if maxTO <= 0 {
@@ -211,11 +238,13 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 	// A prediction failure inside the annealing closure is remembered
 	// and surfaced as an error, never a panic (the closure's signature
 	// has no error channel, so failures poison the point with +Inf).
+	clk := obs.ClockOr(c.Clock)
+	searchStart := clk.Now()
 	var predErr error
 	res, err := explore.MinimizeTimeout(func(to float64) float64 {
 		cond := c.Base
 		cond.Timeout = to
-		pred, perr := c.Model.Predict(c.Dataset, core.Scenario{
+		pred, perr := predictModel(ctx, c.Model, c.Dataset, core.Scenario{
 			Cond:        cond,
 			ArrivalRate: estimatedRate,
 		})
@@ -227,23 +256,34 @@ func (c *Controller) Timeout(estimatedRate float64) (float64, error) {
 		}
 		return pred.MeanRT
 	}, 0, maxTO, explore.Options{MaxIter: iter, Seed: c.Seed + uint64(c.retunes)})
+	searchNanos := clk.Now().Sub(searchStart).Nanoseconds()
 	if predErr != nil {
 		c.reportSearch(false)
-		return 0, fmt.Errorf("online: model prediction during retune: %w", predErr)
+		return 0, tierInfo{Retuned: true, SearchNanos: searchNanos}, fmt.Errorf("online: model prediction during retune: %w", predErr)
 	}
 	if err != nil {
 		c.reportSearch(false)
-		return 0, err
+		return 0, tierInfo{Retuned: true, SearchNanos: searchNanos}, err
 	}
 	c.reportSearch(true)
 	oldTO := c.currentTO
 	first := !c.haveDecision
 	c.tunedRate = estimatedRate
 	c.currentTO = res.Point[0]
+	c.lastPredRT = res.RT
 	c.haveDecision = true
 	c.retunes++
 	c.recordDecision(oldTO, c.currentTO, estimatedRate, first)
-	return c.currentTO, nil
+	return c.currentTO, tierInfo{PredictedRT: res.RT, Retuned: true, SearchNanos: searchNanos}, nil
+}
+
+// predictModel routes a prediction through the model's context-aware
+// entry point when it has one, so span parentage survives the search.
+func predictModel(ctx context.Context, m core.Model, ds *profiler.Dataset, sc core.Scenario) (core.Prediction, error) {
+	if cm, ok := m.(core.CtxModel); ok {
+		return cm.PredictCtx(ctx, ds, sc)
+	}
+	return m.Predict(ds, sc)
 }
 
 // reportSearch feeds one search outcome to the breaker, if any.

@@ -211,6 +211,37 @@ func (e *Engine) Stats() Stats {
 // their side effects (lifecycle events, timed metrics), so observed runs
 // are always executed.
 func (e *Engine) Evaluate(t Task) (queuesim.Prediction, error) {
+	pred, _, err := e.evaluateOutcome(t)
+	return pred, err
+}
+
+// EvaluateSpan is Evaluate nested under parent as a "sweep.eval" span
+// annotated with the cache outcome ("hit"/"miss"/"bypass"). A nil parent
+// is exactly Evaluate — callers pass their span through unconditionally.
+func (e *Engine) EvaluateSpan(parent *obs.Span, t Task) (queuesim.Prediction, error) {
+	if parent == nil {
+		return e.Evaluate(t)
+	}
+	sp := parent.StartChild("sweep.eval")
+	sp.SetFloat("timeout_s", t.Params.Timeout)
+	pred, outcome, err := e.evaluateOutcome(t)
+	sp.SetString("cache", outcome)
+	sp.SetError(err)
+	sp.End()
+	return pred, err
+}
+
+// Cache outcomes annotated on sweep spans and returned by
+// evaluateOutcome.
+const (
+	outcomeHit    = "hit"
+	outcomeMiss   = "miss"
+	outcomeBypass = "bypass"
+)
+
+// evaluateOutcome is Evaluate's body, additionally reporting how the
+// cache treated the task.
+func (e *Engine) evaluateOutcome(t Task) (queuesim.Prediction, string, error) {
 	e.tasks.Add(1)
 	e.m.tasks.Inc()
 	reps := t.Reps
@@ -218,14 +249,16 @@ func (e *Engine) Evaluate(t Task) (queuesim.Prediction, error) {
 		reps = 1
 	}
 	if e.cache == nil || t.Params.Tracer != nil || t.Params.Clock != nil {
-		return e.bypass(t.Params, reps)
+		pred, err := e.bypass(t.Params, reps)
+		return pred, outcomeBypass, err
 	}
 	key, err := Fingerprint(t.Params, reps)
 	if err != nil {
 		// Unfingerprintable (custom distribution type) or invalid:
 		// evaluate uncached and let Predict report the authoritative
 		// validation error.
-		return e.bypass(t.Params, reps)
+		pred, err := e.bypass(t.Params, reps)
+		return pred, outcomeBypass, err
 	}
 	en, owner, evicted := e.cache.getOrStart(key)
 	if evicted > 0 {
@@ -240,12 +273,12 @@ func (e *Engine) Evaluate(t Task) (queuesim.Prediction, error) {
 		pred, err := e.safePredict(t.Params, reps)
 		en.finish(pred, err)
 		e.m.entries.Set(float64(e.cache.len()))
-		return pred, err
+		return pred, outcomeMiss, err
 	}
 	e.hits.Add(1)
 	e.m.hits.Inc()
 	<-en.ready
-	return en.pred, en.err
+	return en.pred, outcomeHit, en.err
 }
 
 // bypass evaluates uncached.
@@ -286,14 +319,26 @@ func (e *Engine) runHook(i int, t Task) (err error) {
 	return e.hook(i, t)
 }
 
-// runTask is one batch task: hook (if any), then evaluation.
-func (e *Engine) runTask(i int, t Task) (queuesim.Prediction, error) {
+// runTask is one batch task: hook (if any), then evaluation. When the
+// batch is traced, each task gets a "sweep.task" child span annotated
+// with the worker that ran it and the cache outcome.
+func (e *Engine) runTask(parent *obs.Span, worker, i int, t Task) (queuesim.Prediction, error) {
+	sp := parent.StartChild("sweep.task")
+	sp.SetInt("index", int64(i))
+	sp.SetInt("worker", int64(worker))
+	sp.SetFloat("timeout_s", t.Params.Timeout)
 	if e.hook != nil {
 		if err := e.runHook(i, t); err != nil {
+			sp.SetError(err)
+			sp.End()
 			return queuesim.Prediction{}, err
 		}
 	}
-	return e.Evaluate(t)
+	pred, outcome, err := e.evaluateOutcome(t)
+	sp.SetString("cache", outcome)
+	sp.SetError(err)
+	sp.End()
+	return pred, err
 }
 
 // Batch is an in-flight EvaluateAsync result.
@@ -335,6 +380,8 @@ func (e *Engine) EvaluateAsyncCtx(ctx context.Context, tasks []Task) *Batch {
 	}
 	e.m.batches.Inc()
 	e.m.batchTasks.Observe(float64(len(tasks)))
+	sp := obs.StartSpanCtx(ctx, "sweep.batch")
+	sp.SetInt("tasks", int64(len(tasks)))
 	b := &Batch{
 		preds: make([]queuesim.Prediction, len(tasks)),
 		errs:  make([]error, len(tasks)),
@@ -347,11 +394,12 @@ func (e *Engine) EvaluateAsyncCtx(ctx context.Context, tasks []Task) *Batch {
 	if workers < 1 {
 		workers = 1
 	}
+	sp.SetInt("workers", int64(workers))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				if err := ctx.Err(); err != nil {
@@ -360,9 +408,9 @@ func (e *Engine) EvaluateAsyncCtx(ctx context.Context, tasks []Task) *Batch {
 					b.errs[i] = err
 					continue
 				}
-				b.preds[i], b.errs[i] = e.runTask(i, tasks[i])
+				b.preds[i], b.errs[i] = e.runTask(sp, w, i, tasks[i])
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		for i := range tasks {
@@ -370,6 +418,7 @@ func (e *Engine) EvaluateAsyncCtx(ctx context.Context, tasks []Task) *Batch {
 		}
 		close(idx)
 		wg.Wait()
+		sp.End()
 		close(b.done)
 	}()
 	return b

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mdsprint
+
+// raceEnabled reports whether the race detector is active; the
+// observability overhead budget is skipped under -race because
+// instrumentation distorts the timing it measures.
+const raceEnabled = false
