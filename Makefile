@@ -6,7 +6,7 @@ GO ?= go
 # the disabled-hook overhead check (BenchmarkSimulateOne vs
 # BenchmarkSimulateOneTraced; baseline recorded in BENCH_obs.json).
 .PHONY: tier1
-tier1: vet lint build race alloc-check bench-obs
+tier1: vet lint lint-debt build race alloc-check bench-obs
 
 .PHONY: build
 build:
@@ -16,12 +16,32 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs sprintlint, the project-specific analyzers (determinism,
-# float equality, error hygiene, lock copies, exported docs). Exit 1
-# means diagnostics; fix them or add a reasoned //lint:ignore.
+# lint runs sprintlint, the project-specific analyzers: the file-local
+# suite (float equality, error hygiene, lock copies, exported docs) plus
+# the interprocedural pair (hotalloc over //sprint:hotpath closures,
+# detflow determinism taint). -j 0 analyzes packages on all cores;
+# output is bit-identical at any job count. Exit 1 means diagnostics;
+# fix them or add a reasoned //lint:ignore (which becomes ledger debt —
+# see lint-debt).
 .PHONY: lint
 lint:
-	$(GO) run ./cmd/sprintlint
+	$(GO) run ./cmd/sprintlint -j 0
+
+# lint-sarif emits the same run as SARIF 2.1.0 for CI's code-scanning
+# upload, so findings land as inline annotations on the PR diff.
+.PHONY: lint-sarif
+lint-sarif:
+	$(GO) run ./cmd/sprintlint -j 0 -format sarif > sprintlint.sarif || true
+	@test -s sprintlint.sarif
+
+# lint-debt enforces the suppression-debt ledger: every //lint:ignore is
+# counted against the per-analyzer ceilings in lint-baseline.json, and
+# the build fails if any analyzer's count rises above its ceiling. Pay
+# debt down (or consciously accept more) with:
+#   go run ./cmd/sprintlint -debt -write-baseline
+.PHONY: lint-debt
+lint-debt:
+	$(GO) run ./cmd/sprintlint -debt
 
 .PHONY: fmt-check
 fmt-check:
@@ -57,7 +77,8 @@ cover:
 	check ./internal/fault 90; \
 	check ./internal/online 90; \
 	check ./internal/obs 90; \
-	check ./internal/trace 90
+	check ./internal/trace 90; \
+	check ./internal/lint 90
 
 # The experiments suite runs ~2 minutes without the race detector; the
 # detector's 5-10x slowdown overruns go test's default 10m binary
@@ -75,6 +96,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzChromeTraceExport$$' -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzRateEstimator$$' -fuzztime 10s ./internal/online
 	$(GO) test -run '^$$' -fuzz '^FuzzRunDeterminism$$' -fuzztime 10s ./internal/queuesim
+	$(GO) test -run '^$$' -fuzz '^FuzzSuppressionParse$$' -fuzztime 10s ./internal/lint
 
 # chaos replays every built-in fault-injection scenario against the
 # graceful-degradation controller and fails if any scripted expectation

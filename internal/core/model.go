@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"time"
 
 	"mdsprint/internal/ann"
 	"mdsprint/internal/calib"
@@ -139,6 +138,12 @@ type TrainingSet struct {
 	Observations []profiler.Observation
 }
 
+// modelClock stamps prediction durations for modelMetrics. It is the
+// injectable wall clock the determinism contract requires (see
+// obs.Clock): swap in an obs.ManualClock under test to make measured
+// regions reproducible. Prediction *results* never read it.
+var modelClock = obs.ClockOr(nil)
+
 // modelMetrics count model predictions in the default registry.
 var modelMetrics = struct {
 	predictions *obs.Counter
@@ -197,7 +202,7 @@ func simulate(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, sc Sce
 	sp := obs.StartSpanCtx(ctx, "core.predict")
 	sp.SetFloat("sprint_rate", rate)
 	sp.SetFloat("timeout_s", sc.Cond.Timeout)
-	start := time.Now()
+	start := modelClock.Now()
 	pred, err := sweep.Or(e).EvaluateSpan(sp, t)
 	sp.SetError(err)
 	sp.End()
@@ -205,7 +210,7 @@ func simulate(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, sc Sce
 		return Prediction{}, err
 	}
 	modelMetrics.predictions.Inc()
-	modelMetrics.seconds.Observe(time.Since(start).Seconds())
+	modelMetrics.seconds.Observe(modelClock.Now().Sub(start).Seconds())
 	return toPrediction(pred, rate), nil
 }
 
@@ -224,7 +229,7 @@ func simulateAll(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, scs
 	}
 	sp := obs.StartSpanCtx(ctx, "core.predict_batch")
 	sp.SetInt("scenarios", int64(len(scs)))
-	start := time.Now()
+	start := modelClock.Now()
 	preds, err := sweep.Or(e).EvaluateAllCtx(obs.ContextWithSpan(ctx, sp), tasks)
 	sp.SetError(err)
 	sp.End()
@@ -232,7 +237,7 @@ func simulateAll(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, scs
 		return nil, err
 	}
 	modelMetrics.predictions.Add(float64(len(scs)))
-	modelMetrics.seconds.Observe(time.Since(start).Seconds())
+	modelMetrics.seconds.Observe(modelClock.Now().Sub(start).Seconds())
 	out := make([]Prediction, len(preds))
 	for i, p := range preds {
 		out[i] = toPrediction(p, rates[i])

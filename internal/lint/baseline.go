@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The suppression-debt ledger. Every //lint:ignore in the tree is debt:
+// a place where an invariant is waived by hand. The committed baseline
+// (lint-baseline.json at the module root) records the accepted debt —
+// each surviving suppression with its justification — and `sprintlint
+// -debt` fails when the per-analyzer suppression count rises above it,
+// so new waivers need a deliberate baseline update in the same change.
+// Debt that is paid down (suppressions deleted) is reported as retired;
+// refresh the baseline with -write-baseline to lock in the lower count.
+
+// SuppressionRecord is one //lint:ignore in the tree (or in the
+// baseline; baseline entries omit the line, which drifts with edits).
+type SuppressionRecord struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line,omitempty"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+}
+
+// key is the identity used for baseline diffing: position-independent,
+// so a suppression that merely moves lines is unchanged debt.
+func (r SuppressionRecord) key() string {
+	return r.File + "\x00" + strings.Join(r.Analyzers, ",") + "\x00" + r.Reason
+}
+
+// BaselineVersion is the current baseline file format version.
+const BaselineVersion = 1
+
+// Baseline is the committed suppression-debt ledger.
+type Baseline struct {
+	Version int `json:"version"`
+	// Counts is the enforced ceiling: suppression mentions per analyzer.
+	Counts map[string]int `json:"counts"`
+	// Suppressions are the accepted entries, for human review and
+	// new/retired diffing.
+	Suppressions []SuppressionRecord `json:"suppressions"`
+}
+
+// NewBaseline builds a ledger from a run's suppression inventory.
+func NewBaseline(sups []SuppressionRecord) *Baseline {
+	b := &Baseline{Version: BaselineVersion, Counts: map[string]int{}}
+	for _, s := range sups {
+		rec := s
+		rec.Line = 0 // position-independent ledger
+		rec.Analyzers = append([]string(nil), s.Analyzers...)
+		b.Suppressions = append(b.Suppressions, rec)
+		for _, a := range s.Analyzers {
+			b.Counts[a]++
+		}
+	}
+	sort.Slice(b.Suppressions, func(i, j int) bool {
+		return b.Suppressions[i].key() < b.Suppressions[j].key()
+	})
+	return b
+}
+
+// ParseBaseline decodes and validates a baseline file. Malformed input
+// is reported as an error, never a panic (FuzzSuppressionParse drives
+// this parser too).
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline: unsupported version %d (want %d)", b.Version, BaselineVersion)
+	}
+	for i, s := range b.Suppressions {
+		if s.File == "" {
+			return nil, fmt.Errorf("lint: baseline: entry %d has no file", i)
+		}
+		if len(s.Analyzers) == 0 {
+			return nil, fmt.Errorf("lint: baseline: entry %d (%s) names no analyzers", i, s.File)
+		}
+		if strings.TrimSpace(s.Reason) == "" {
+			return nil, fmt.Errorf("lint: baseline: entry %d (%s) has no reason", i, s.File)
+		}
+	}
+	if b.Counts == nil {
+		b.Counts = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Format renders the baseline deterministically (sorted entries, sorted
+// count keys via encoding/json's map ordering, trailing newline).
+func (b *Baseline) Format() ([]byte, error) {
+	sort.Slice(b.Suppressions, func(i, j int) bool {
+		return b.Suppressions[i].key() < b.Suppressions[j].key()
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DebtReport compares a run's suppression inventory against a baseline.
+type DebtReport struct {
+	// Current and Ceiling are suppression mentions per analyzer; Ceiling
+	// comes from the baseline.
+	Current map[string]int
+	Ceiling map[string]int
+	// Exceeded lists analyzers whose current count rose above the
+	// ceiling — the failure condition.
+	Exceeded []string
+	// New are suppressions present now but absent from the baseline;
+	// Retired the reverse (paid-down debt — refresh the baseline).
+	New     []SuppressionRecord
+	Retired []SuppressionRecord
+}
+
+// OK reports whether the debt stayed at or under the committed ceiling.
+func (r *DebtReport) OK() bool { return len(r.Exceeded) == 0 }
+
+// Debt diffs the current inventory against the baseline. A nil baseline
+// means "no accepted debt": every suppression is new and any analyzer
+// with suppressions is exceeded.
+func Debt(current []SuppressionRecord, base *Baseline) *DebtReport {
+	r := &DebtReport{Current: map[string]int{}, Ceiling: map[string]int{}}
+	baseKeys := map[string]int{}
+	if base != nil {
+		for a, n := range base.Counts {
+			r.Ceiling[a] = n
+		}
+		for _, s := range base.Suppressions {
+			baseKeys[s.key()]++
+		}
+	}
+	curKeys := map[string]int{}
+	for _, s := range current {
+		curKeys[s.key()]++
+		for _, a := range s.Analyzers {
+			r.Current[a]++
+		}
+	}
+	for _, s := range current {
+		k := s.key()
+		if baseKeys[k] > 0 {
+			baseKeys[k]--
+			continue
+		}
+		r.New = append(r.New, s)
+	}
+	if base != nil {
+		for _, s := range base.Suppressions {
+			k := s.key()
+			if curKeys[k] > 0 {
+				curKeys[k]--
+				continue
+			}
+			r.Retired = append(r.Retired, s)
+		}
+	}
+	for a, n := range r.Current {
+		if n > r.Ceiling[a] {
+			r.Exceeded = append(r.Exceeded, a)
+		}
+	}
+	sort.Strings(r.Exceeded)
+	return r
+}
+
+// Format renders the debt report for terminals: the per-analyzer table,
+// then new and retired entries.
+func (r *DebtReport) Format() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(r.Current)+len(r.Ceiling))
+	seen := map[string]bool{}
+	for a := range r.Current {
+		if !seen[a] {
+			names, seen[a] = append(names, a), true
+		}
+	}
+	for a := range r.Ceiling {
+		if !seen[a] {
+			names, seen[a] = append(names, a), true
+		}
+	}
+	sort.Strings(names)
+	total, ceilTotal := 0, 0
+	fmt.Fprintf(&sb, "%-14s %8s %8s\n", "analyzer", "current", "ceiling")
+	for _, a := range names {
+		marker := ""
+		if r.Current[a] > r.Ceiling[a] {
+			marker = "  EXCEEDED"
+		}
+		fmt.Fprintf(&sb, "%-14s %8d %8d%s\n", a, r.Current[a], r.Ceiling[a], marker)
+		total += r.Current[a]
+		ceilTotal += r.Ceiling[a]
+	}
+	fmt.Fprintf(&sb, "%-14s %8d %8d\n", "total", total, ceilTotal)
+	if len(r.New) > 0 {
+		sb.WriteString("\nnew suppressions (not in baseline):\n")
+		for _, s := range r.New {
+			fmt.Fprintf(&sb, "  %s:%d [%s] %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), s.Reason)
+		}
+	}
+	if len(r.Retired) > 0 {
+		sb.WriteString("\nretired suppressions (paid-down debt; refresh with -write-baseline):\n")
+		for _, s := range r.Retired {
+			fmt.Fprintf(&sb, "  %s [%s] %s\n", s.File, strings.Join(s.Analyzers, ","), s.Reason)
+		}
+	}
+	return sb.String()
+}

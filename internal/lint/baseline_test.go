@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func rec(file, reason string, analyzers ...string) SuppressionRecord {
+	return SuppressionRecord{File: file, Analyzers: analyzers, Reason: reason}
+}
+
+func TestNewBaselineRoundTrip(t *testing.T) {
+	sups := []SuppressionRecord{
+		{File: "b.go", Line: 9, Analyzers: []string{"hotalloc"}, Reason: "amortized growth"},
+		{File: "a.go", Line: 3, Analyzers: []string{"errdrop", "floateq"}, Reason: "best effort"},
+	}
+	b := NewBaseline(sups)
+	if got := b.Counts; got["hotalloc"] != 1 || got["errdrop"] != 1 || got["floateq"] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+	for _, s := range b.Suppressions {
+		if s.Line != 0 {
+			t.Errorf("ledger entry kept its line: %+v (must be position-independent)", s)
+		}
+	}
+	if b.Suppressions[0].File != "a.go" {
+		t.Errorf("ledger not sorted: %+v", b.Suppressions)
+	}
+
+	data, err := b.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, b) {
+		t.Errorf("round trip changed the baseline:\n%+v\nvs\n%+v", parsed, b)
+	}
+}
+
+func TestParseBaselineErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"version": 99, "counts": {}}`,
+		`{"counts": {}}`, // missing version
+	}
+	for _, c := range cases {
+		if _, err := ParseBaseline([]byte(c)); err == nil {
+			t.Errorf("ParseBaseline(%q) did not error", c)
+		}
+	}
+}
+
+func TestDebtAgainstNilBaseline(t *testing.T) {
+	r := Debt([]SuppressionRecord{rec("a.go", "why", "hotalloc")}, nil)
+	if r.OK() {
+		t.Error("debt with no accepted baseline must not be OK")
+	}
+	if len(r.New) != 1 || len(r.Retired) != 0 {
+		t.Errorf("New=%d Retired=%d, want 1/0", len(r.New), len(r.Retired))
+	}
+}
+
+func TestDebtDiff(t *testing.T) {
+	base := NewBaseline([]SuppressionRecord{
+		rec("a.go", "kept", "errdrop"),
+		rec("b.go", "paid down", "errdrop"),
+	})
+	current := []SuppressionRecord{
+		// Same debt as baseline's a.go entry, but it moved lines: the
+		// position-independent key must treat it as unchanged.
+		{File: "a.go", Line: 42, Analyzers: []string{"errdrop"}, Reason: "kept"},
+	}
+	r := Debt(current, base)
+	if !r.OK() {
+		t.Errorf("under-ceiling run flagged as exceeded: %v", r.Exceeded)
+	}
+	if len(r.New) != 0 {
+		t.Errorf("moved suppression reported as new: %+v", r.New)
+	}
+	if len(r.Retired) != 1 || r.Retired[0].File != "b.go" {
+		t.Errorf("Retired = %+v, want the b.go entry", r.Retired)
+	}
+
+	// A suppression for an analyzer with no accepted debt trips the gate
+	// (errdrop stays under its ceiling of 2, hotalloc's ceiling is 0).
+	grown := append(current, rec("c.go", "fresh debt", "hotalloc"))
+	r = Debt(grown, base)
+	if r.OK() {
+		t.Error("count above ceiling must fail")
+	}
+	if !reflect.DeepEqual(r.Exceeded, []string{"hotalloc"}) {
+		t.Errorf("Exceeded = %v", r.Exceeded)
+	}
+	if len(r.New) != 1 || r.New[0].File != "c.go" {
+		t.Errorf("New = %+v", r.New)
+	}
+}
+
+func TestDebtReportFormat(t *testing.T) {
+	base := NewBaseline([]SuppressionRecord{rec("a.go", "kept", "errdrop")})
+	r := Debt([]SuppressionRecord{
+		rec("a.go", "kept", "errdrop"),
+		rec("c.go", "fresh", "hotalloc"),
+	}, base)
+	out := r.Format()
+	for _, want := range []string{"analyzer", "errdrop", "hotalloc", "EXCEEDED", "c.go", "fresh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtureModule loads one testdata module and returns it with its
+// call graph built.
+func loadFixtureModule(t *testing.T, name string) *Module {
+	t.Helper()
+	pkgs, err := LoadModule(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", name, err)
+	}
+	return &Module{Pkgs: pkgs}
+}
+
+// nodeByName resolves a node by its display name.
+func nodeByName(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	var names []string
+	for _, n := range g.Nodes {
+		names = append(names, n.Name)
+	}
+	t.Fatalf("no node %q; graph has: %s", name, strings.Join(names, ", "))
+	return nil
+}
+
+// edgeTo finds the first out-edge of n landing on callee.
+func edgeToNode(n *Node, callee string) *Edge {
+	for i := range n.Out {
+		if n.Out[i].Callee.Name == callee {
+			return &n.Out[i]
+		}
+	}
+	return nil
+}
+
+// TestCallGraphEdgeKinds pins every edge derivation the hotalloc fixture
+// was built to exercise: static calls, interface dispatch, closure
+// creation, method values, dynamic calls and cross-package edges.
+func TestCallGraphEdgeKinds(t *testing.T) {
+	g := loadFixtureModule(t, "hotalloc").Graph()
+	run := nodeByName(t, g, "fixture.Run")
+
+	cases := []struct {
+		caller, callee string
+		kind           EdgeKind
+		via            string
+	}{
+		// Direct static call, same package.
+		{"fixture.Run", "fixture.(*State).grow", EdgeStatic, ""},
+		// Direct static call across packages.
+		{"fixture.Run", "sub.Spill", EdgeStatic, ""},
+		{"sub.Spill", "sub.keep", EdgeStatic, ""},
+		// Interface dispatch smears over every module implementation.
+		{"fixture.Run", "fixture.(*Boxed).Consume", EdgeInterface, "fixture.Sink.Consume"},
+		{"fixture.Run", "fixture.(*Buffered).Consume", EdgeInterface, "fixture.Sink.Consume"},
+		// The deferred literal is a closure edge named after its parent.
+		{"fixture.Run", "fixture.Run$1", EdgeClosure, ""},
+		// hook(2) is a dynamic call; observe is the one value-referenced
+		// function with a matching signature.
+		{"fixture.Run", "fixture.(*State).observe", EdgeDynamic, ""},
+		// The method value in Hooks is a function-value reference.
+		{"fixture.Hooks", "fixture.(*State).observe", EdgeFuncValue, ""},
+		// Mutual recursion: both directions exist.
+		{"fixture.(*State).grow", "fixture.(*State).shrink", EdgeStatic, ""},
+		{"fixture.(*State).shrink", "fixture.(*State).grow", EdgeStatic, ""},
+	}
+	for _, c := range cases {
+		e := edgeToNode(nodeByName(t, g, c.caller), c.callee)
+		if e == nil {
+			t.Errorf("missing edge %s -> %s", c.caller, c.callee)
+			continue
+		}
+		if e.Kind != c.kind {
+			t.Errorf("edge %s -> %s: kind %v, want %v", c.caller, c.callee, e.Kind, c.kind)
+		}
+		if e.Via != c.via {
+			t.Errorf("edge %s -> %s: via %q, want %q", c.caller, c.callee, e.Via, c.via)
+		}
+	}
+
+	// The immediately-invoked pattern must not be smeared: Run's only
+	// dynamic out-edge is the hook call to observe.
+	var dynamic int
+	for i := range run.Out {
+		if run.Out[i].Kind == EdgeDynamic {
+			dynamic++
+		}
+	}
+	if dynamic != 1 {
+		t.Errorf("fixture.Run has %d dynamic edges, want exactly 1 (hook -> observe)", dynamic)
+	}
+
+	if !run.HotPath {
+		t.Error("fixture.Run lost its //sprint:hotpath annotation")
+	}
+	if want := "replay loop must stay allocation-free in steady state"; run.HotPathReason != want {
+		t.Errorf("HotPathReason = %q, want %q", run.HotPathReason, want)
+	}
+}
+
+// TestReachChains covers BFS closure, chain rendering, recursion
+// termination and the allow barrier.
+func TestReachChains(t *testing.T) {
+	g := loadFixtureModule(t, "hotalloc").Graph()
+	run := nodeByName(t, g, "fixture.Run")
+
+	reached := g.Reach([]*Node{run}, nil)
+	if reached[run] == nil || reached[run].From != nil {
+		t.Fatal("root must be reached with a nil parent")
+	}
+	if got := reached[run].Chain(); got != "fixture.Run" {
+		t.Errorf("root chain = %q", got)
+	}
+
+	boxed := nodeByName(t, g, "fixture.(*Boxed).Consume")
+	rv := reached[boxed]
+	if rv == nil {
+		t.Fatal("interface dispatch target not reached")
+	}
+	if got, want := rv.Chain(), "fixture.Run → fixture.(*Boxed).Consume [via fixture.Sink.Consume]"; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if rv.Root() != run {
+		t.Errorf("Root() = %s, want fixture.Run", rv.Root().Name)
+	}
+
+	// Mutual recursion terminates and still reaches both partners.
+	keep := nodeByName(t, g, "sub.keep")
+	if reached[nodeByName(t, g, "fixture.(*State).shrink")] == nil {
+		t.Error("recursion partner not reached")
+	}
+	if rv := reached[keep]; rv == nil {
+		t.Error("cross-package transitive callee not reached")
+	} else if got, want := rv.Chain(), "fixture.Run → sub.Spill → sub.keep"; got != want {
+		t.Errorf("cross-package chain = %q, want %q", got, want)
+	}
+
+	// Hooks is not reachable from Run: a value reference in an unreached
+	// function must not leak into the closure.
+	if reached[nodeByName(t, g, "fixture.Hooks")] != nil {
+		t.Error("fixture.Hooks reached from fixture.Run; it has no in-edge from the root")
+	}
+
+	// Barriers cut traversal: with sub.Spill disallowed, neither it nor
+	// its callee is reached.
+	barred := g.Reach([]*Node{run}, func(n *Node) bool { return n.Name != "sub.Spill" })
+	if barred[nodeByName(t, g, "sub.Spill")] != nil || barred[keep] != nil {
+		t.Error("allow barrier did not stop traversal through sub.Spill")
+	}
+	if barred[boxed] == nil {
+		t.Error("allow barrier over sub.Spill must not affect unrelated nodes")
+	}
+}
+
+// TestCallGraphDeterministic pins that two independent loads of the same
+// fixture produce identical node and edge orderings — the property the
+// parallel driver's bit-identical output rests on.
+func TestCallGraphDeterministic(t *testing.T) {
+	render := func() string {
+		g := loadFixtureModule(t, "hotalloc").Graph()
+		var sb strings.Builder
+		for _, n := range g.Nodes {
+			sb.WriteString(n.Name)
+			for i := range n.Out {
+				e := &n.Out[i]
+				sb.WriteString(" ")
+				sb.WriteString(e.Callee.Name)
+				sb.WriteString("/")
+				sb.WriteString(e.Kind.String())
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("call graph rendering differs between loads:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+// TestEdgeKindStrings keeps the diagnostic vocabulary stable.
+func TestEdgeKindStrings(t *testing.T) {
+	want := map[EdgeKind]string{
+		EdgeStatic:    "call",
+		EdgeInterface: "interface dispatch",
+		EdgeClosure:   "closure",
+		EdgeFuncValue: "function value",
+		EdgeDynamic:   "dynamic call",
+		EdgeKind(99):  "edge",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -29,6 +29,16 @@ type Config struct {
 	// goes stale when the slot is re-tenanted. poolescape flags function
 	// literals with such free variables inside the declaring package.
 	PooledTypes []string
+	// HotAllocCallees are callee patterns (calleeName globs) hotalloc
+	// treats as always-allocating when reached from a //sprint:hotpath
+	// closure; empty means the built-in stdlib list (fmt.*, log.*, ...).
+	HotAllocCallees []string
+	// DetflowAllow are call-graph node-name globs detflow treats as
+	// barriers — neither reported nor traversed. These are the injected
+	// abstractions (obs.Clock implementations, seeded RNG plumbing) the
+	// determinism contract already accounts for; empty means the
+	// built-in list.
+	DetflowAllow []string
 }
 
 // DefaultConfig returns the policy for this repository.

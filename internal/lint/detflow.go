@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetFlow is the interprocedural companion of nondeterm. nondeterm
+// checks the deterministic packages' own files syntactically; DetFlow
+// closes their exported entry points over the module call graph and
+// flags nondeterminism *reached through* them in other packages — the
+// helper in internal/core that stamps wall-clock time, the registry walk
+// that ranges a map — with the full propagation chain back to the entry
+// point. Division of labor: a source inside a deterministic package is
+// nondeterm's finding (file-local, precise); a source in any other
+// module package reachable from a deterministic entry point is
+// DetFlow's.
+//
+// Sources: wall-clock reads (time.Now/Since/Until), the global
+// math/rand source, environment reads (os.Getenv/LookupEnv/Environ),
+// map iteration (order varies run to run), and goroutine launches
+// (scheduling order is a race unless results are committed by index).
+// Injected abstractions are barriers: nodes matching DetflowAllow
+// (obs.Clock implementations, seeded RNG internals) are neither
+// reported nor traversed.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc:  "forbid nondeterminism transitively reachable from deterministic packages' entry points",
+	Run:  runDetFlow,
+}
+
+// detflowFacts is the read-only module state shared by detflow passes.
+type detflowFacts struct {
+	reach map[*Node]*ReachedVia
+	// detPkgs marks the deterministic packages' *Package values, whose
+	// in-package sources belong to nondeterm.
+	detPkgs map[*Package]bool
+}
+
+// detFacts builds (once) the closure of the deterministic packages'
+// exported entry points, honoring the DetflowAllow barriers.
+func (m *Module) detFacts(cfg *Config) *detflowFacts {
+	m.detOnce.Do(func() {
+		g := m.Graph()
+		facts := &detflowFacts{detPkgs: map[*Package]bool{}}
+		for _, p := range m.Pkgs {
+			if pkgMatchesAny(p, cfg.DeterministicPackages) {
+				facts.detPkgs[p] = true
+			}
+		}
+		var roots []*Node
+		for _, n := range g.Nodes {
+			if n.Fn == nil || !facts.detPkgs[n.Pkg] {
+				continue
+			}
+			if ast.IsExported(n.Fn.Name()) {
+				roots = append(roots, n)
+			}
+		}
+		allow := cfg.detflowAllow()
+		facts.reach = g.Reach(roots, func(n *Node) bool {
+			return !matchesAnyGlob(allow, n.Name)
+		})
+		m.det = facts
+	})
+	return m.det
+}
+
+func runDetFlow(pass *Pass) {
+	if len(pass.Cfg.DeterministicPackages) == 0 {
+		return
+	}
+	facts := pass.Mod.detFacts(pass.Cfg)
+	if facts.detPkgs[pass.Pkg] {
+		return // in-package sources are nondeterm's findings
+	}
+	for _, n := range pass.Mod.Graph().Nodes {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		rv := facts.reach[n]
+		if rv == nil {
+			continue
+		}
+		scanDetSources(pass, n, rv)
+	}
+}
+
+// scanDetSources walks one reached function's body for nondeterminism
+// sources. Nested literals are separate nodes and scanned on their own.
+func scanDetSources(pass *Pass, n *Node, rv *ReachedVia) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s reachable from deterministic entry point %s (via %s)",
+			what, rv.Root().Name, rv.Chain())
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			pkgPath, ok := selectorPackage(info, x)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "time" && wallClockFuncs[x.Sel.Name]:
+				report(x.Pos(), "wall-clock read time."+x.Sel.Name)
+			case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+				report(x.Pos(), "global math/rand use "+x.Sel.Name)
+			case pkgPath == "os" && envReadFuncs[x.Sel.Name]:
+				report(x.Pos(), "environment read os."+x.Sel.Name)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !orderInsensitiveRange(info, body, x) {
+					report(x.Pos(), "map iteration (order varies run to run)")
+				}
+			}
+		case *ast.GoStmt:
+			report(x.Pos(), "goroutine launch (scheduling order escapes)")
+		}
+		return true
+	})
+}
+
+// envReadFuncs are the os package's environment-reading entry points.
+var envReadFuncs = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+// orderInsensitiveRange recognizes the benign map-range idioms: a body
+// that only counts, or one that only collects keys/values into slices
+// that the enclosing function then sorts —
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// Counting is order-independent outright; collection is only exempt
+// when every collected slice is passed to a sort/slices call after the
+// loop (collect-without-sort still leaks iteration order).
+func orderInsensitiveRange(info *types.Info, enclosing *ast.BlockStmt, r *ast.RangeStmt) bool {
+	collected := map[types.Object]bool{}
+	for _, stmt := range r.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			continue
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				return false
+			}
+			lhs, ok := unparen(s.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			if obj := info.ObjectOf(lhs); obj != nil {
+				collected[obj] = true
+			}
+		default:
+			return false
+		}
+	}
+	if len(collected) == 0 {
+		return true // pure counting
+	}
+	sorted := 0
+	ast.Inspect(enclosing, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, ok := selectorPackage(info, sel)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && collected[info.ObjectOf(id)] {
+				collected[info.ObjectOf(id)] = false
+				sorted++
+			}
+		}
+		return true
+	})
+	return sorted == len(collected)
+}
+
+// detflowAllow returns the barrier patterns, defaulting to the injected
+// clock and RNG abstractions when the config predates the analyzer.
+func (c *Config) detflowAllow() []string {
+	if len(c.DetflowAllow) > 0 {
+		return c.DetflowAllow
+	}
+	return defaultDetflowAllow
+}
+
+// defaultDetflowAllow exempts the injected abstractions the determinism
+// contract is built on: obs.Clock implementations (callers choose a
+// manual clock for reproducible runs; measured wall time flows only into
+// metrics, never into simulation results) and the explicitly seeded
+// RNG plumbing.
+var defaultDetflowAllow = []string{
+	"internal/obs.systemClock.*",
+	"internal/obs.ClockOr",
+	"internal/obs.(*ManualClock).*",
+}
+
+// detflowSourceKinds documents the source taxonomy for -list and the
+// README; kept here so the doc stays next to the detector.
+var detflowSourceKinds = []string{
+	"time.Now/Since/Until",
+	"math/rand global source",
+	"os.Getenv/LookupEnv/Environ",
+	"map iteration",
+	"goroutine launch",
+}
+
+// DetflowSources returns the source taxonomy (for documentation output).
+func DetflowSources() []string { return append([]string(nil), detflowSourceKinds...) }

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunModuleParallelDeterministic is the bit-identical-output
+// contract: the same module analyzed at any job count yields the same
+// RunResult, down to the rendered SARIF bytes.
+func TestRunModuleParallelDeterministic(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "hotalloc")
+	var base *RunResult
+	var baseSARIF []byte
+	for _, jobs := range []int{1, 2, 8, 0} {
+		res, err := RunModule(dir, RunOpts{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("RunModule(jobs=%d): %v", jobs, err)
+		}
+		sarif, err := SARIF(res.Diagnostics)
+		if err != nil {
+			t.Fatalf("SARIF(jobs=%d): %v", jobs, err)
+		}
+		if base == nil {
+			base, baseSARIF = res, sarif
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("RunResult at jobs=%d differs from jobs=1:\n%+v\nvs\n%+v", jobs, res, base)
+		}
+		if !bytes.Equal(sarif, baseSARIF) {
+			t.Errorf("SARIF bytes at jobs=%d differ from jobs=1", jobs)
+		}
+	}
+	if len(base.Diagnostics) == 0 {
+		t.Fatal("hotalloc fixture produced no diagnostics")
+	}
+	if want := []string{"fixture.Run"}; !reflect.DeepEqual(base.HotPathRoots, want) {
+		t.Errorf("HotPathRoots = %v, want %v", base.HotPathRoots, want)
+	}
+}
+
+// TestRunModuleStaleOnlyOnFullSuite: a restricted run cannot tell a
+// stale suppression from one whose analyzer did not run, so staleness
+// must only be reported by the full suite.
+func TestRunModuleStaleOnlyOnFullSuite(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "stalesuppress")
+	full, err := RunModule(dir, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale int
+	for _, d := range full.Diagnostics {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "stale suppression") {
+			stale++
+		}
+	}
+	if stale != 1 {
+		t.Errorf("full suite reported %d stale suppressions, want 1", stale)
+	}
+
+	restricted, err := RunModule(dir, RunOpts{Only: []string{"floateq"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range restricted.Diagnostics {
+		if strings.Contains(d.Message, "stale suppression") {
+			t.Errorf("restricted run reported staleness: %s", d)
+		}
+	}
+	// The inventory itself is reported either way: debt tracking does
+	// not depend on which analyzers ran.
+	if len(restricted.Suppressions) != len(full.Suppressions) {
+		t.Errorf("suppression inventory differs: restricted %d, full %d",
+			len(restricted.Suppressions), len(full.Suppressions))
+	}
+}
+
+// TestRunModuleUnknownAnalyzer pins the error path.
+func TestRunModuleUnknownAnalyzer(t *testing.T) {
+	if _, err := RunModule(filepath.Join("testdata", "src", "clean"), RunOpts{Only: []string{"nope"}}); err == nil {
+		t.Fatal("unknown analyzer did not error")
+	}
+}
+
+// TestDetflowAllowBarrier: a DetflowAllow glob turns a node into a
+// barrier — its own sources are not reported and nothing behind it is
+// traversed — mirroring how the real module exempts injected obs.Clock
+// implementations.
+func TestDetflowAllowBarrier(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "detflow")
+	cfg := fixtureConfig()
+	cfg.DetflowAllow = []string{"impure.Clock"}
+	diags, err := Run(dir, cfg, []string{"detflow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStamp bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "impure.Clock") {
+			t.Errorf("allowed barrier node still reported: %s", d)
+		}
+		if strings.Contains(d.Message, "impure.Stamp") {
+			sawStamp = true
+		}
+	}
+	if !sawStamp {
+		t.Error("barrier over impure.Clock must not silence unrelated sources (impure.Stamp)")
+	}
+}
+
+// TestRunModuleWallClockBudget is the perf guard for the parallel
+// driver: a full-suite run over the whole real module — load,
+// type-check, call graph, both interprocedural closures, every analyzer
+// — must land well inside an interactive budget. The bound is loose
+// (CI machines vary) but catches an accidental quadratic blowup in the
+// graph or fact propagation.
+func TestRunModuleWallClockBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	start := time.Now()
+	res, err := RunModule(filepath.Join("..", ".."), RunOpts{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full-module lint: %d diagnostics, %d suppressions in %v",
+		len(res.Diagnostics), len(res.Suppressions), elapsed)
+	const budget = 60 * time.Second
+	if elapsed > budget {
+		t.Errorf("full-module lint took %v, budget %v", elapsed, budget)
+	}
+}

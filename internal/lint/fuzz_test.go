@@ -1,0 +1,40 @@
+package lint
+
+import "testing"
+
+// FuzzSuppressionParse hammers both textual entry points that consume
+// repository-controlled but human-typed input: the //lint:ignore
+// directive parser and the baseline-ledger parser. The contract under
+// fuzz is "malformed input is reported as an error, never a panic", and
+// for well-formed directives the parts are non-empty.
+func FuzzSuppressionParse(f *testing.F) {
+	f.Add("//lint:ignore errdrop best-effort flush")
+	f.Add("//lint:ignore floateq,errdrop shared reason")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore a,,b empty name")
+	f.Add("// unrelated comment")
+	f.Add(`{"version":1,"counts":{"errdrop":2},"suppressions":[{"file":"a.go","analyzers":["errdrop"],"reason":"x"}]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`{not json`)
+	f.Fuzz(func(t *testing.T, s string) {
+		names, reason, ok, err := ParseIgnoreDirective(s)
+		if !ok && err != nil {
+			t.Errorf("not-a-directive must not carry an error: %q -> %v", s, err)
+		}
+		if ok && err == nil {
+			if len(names) == 0 || reason == "" {
+				t.Errorf("well-formed directive with empty parts: %q -> %v %q", s, names, reason)
+			}
+			for _, n := range names {
+				if n == "" {
+					t.Errorf("well-formed directive with empty analyzer name: %q", s)
+				}
+			}
+		}
+
+		b, err := ParseBaseline([]byte(s))
+		if err == nil && b.Version != BaselineVersion {
+			t.Errorf("accepted baseline with version %d: %q", b.Version, s)
+		}
+	})
+}

@@ -24,8 +24,8 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
-	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding, positioned relative to the module
@@ -58,13 +58,53 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// callFuns memoizes the set of expressions in call-function position
+	// (built once, serially, by the call-graph builder).
+	callFuns map[ast.Expr]bool
+}
+
+// Module is the whole loaded module plus the interprocedural state the
+// call-graph-aware analyzers share. The graph and per-analyzer facts are
+// built once (lazily, or eagerly by the parallel driver before it fans
+// out) and are read-only afterwards, so per-package passes can run
+// concurrently.
+type Module struct {
+	Pkgs []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	hotOnce sync.Once
+	hot     *hotallocFacts
+
+	detOnce sync.Once
+	det     *detflowFacts
+}
+
+// Graph returns the module's call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = buildCallGraph(m.Pkgs) })
+	return m.graph
+}
+
+// pkgByRel resolves a module-relative package path, nil when absent.
+func (m *Module) pkgByRel(rel string) *Package {
+	for _, p := range m.Pkgs {
+		if p.Rel == rel {
+			return p
+		}
+	}
+	return nil
 }
 
 // Pass carries one analyzer's run over one package and collects its
-// diagnostics.
+// diagnostics. Mod gives interprocedural analyzers the module-wide call
+// graph; file-local analyzers never touch it.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 	Cfg      *Config
 	diags    []Diagnostic
 }
@@ -100,7 +140,8 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order. The final two are
+// the interprocedural, call-graph-aware analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NonDeterm,
@@ -111,6 +152,8 @@ func Analyzers() []*Analyzer {
 		CtxLeak,
 		PoolEscape,
 		SpanLeak,
+		HotAlloc,
+		DetFlow,
 	}
 }
 
@@ -128,54 +171,14 @@ func AnalyzerByName(name string) *Analyzer {
 // analyzers (nil or empty means all) over every package, applies
 // //lint:ignore suppressions, and returns the surviving diagnostics
 // sorted by position. An error means the module could not be loaded or
-// type-checked — distinct from "diagnostics found".
+// type-checked — distinct from "diagnostics found". Packages are
+// analyzed in parallel; output order is deterministic (see RunModule).
 func Run(dir string, cfg *Config, only []string) ([]Diagnostic, error) {
-	if cfg == nil {
-		cfg = DefaultConfig()
-	}
-	analyzers := Analyzers()
-	if len(only) > 0 {
-		analyzers = analyzers[:0:0]
-		for _, name := range only {
-			a := AnalyzerByName(name)
-			if a == nil {
-				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
-			}
-			analyzers = append(analyzers, a)
-		}
-	}
-	pkgs, err := LoadModule(dir)
+	res, err := RunModule(dir, RunOpts{Config: cfg, Only: only})
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg)
-		diags = append(diags, sup.malformed...)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if !sup.covers(d) {
-					diags = append(diags, d)
-				}
-			}
-		}
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return diags, nil
+	return res.Diagnostics, nil
 }
 
 // matchesPkg reports whether a config entry (a module-relative package

@@ -38,6 +38,13 @@ var fixtureAnalyzers = map[string][]string{
 	"clean":       {},
 	"suppressed":  {},
 	"badsuppress": {"lint", "floateq"},
+	"hotalloc":    {"hotalloc"},
+	"detflow":     {"detflow"},
+
+	// stalesuppress surfaces only driver-level "lint" diagnostics: the one
+	// floateq hit is absorbed by its (used) suppression, everything else
+	// is stale/malformed directives.
+	"stalesuppress": {"lint"},
 }
 
 func TestFixtures(t *testing.T) {

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "internal/core/model.go", Line: 10, Col: 3, Analyzer: "hotalloc", Message: "make allocates on hot path"},
+		{File: "cmd/x/main.go", Line: 2, Col: 1, Analyzer: "lint", Message: "stale suppression"},
+	}
+	data, err := SARIF(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sprintlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every result's ruleId must resolve against the rule table.
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range Analyzers() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rule table missing analyzer %q", a.Name)
+		}
+	}
+	if !ruleIDs["lint"] {
+		t.Error("rule table missing the lint pseudo-rule")
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result %d ruleId %q does not resolve", i, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %d level = %q", i, r.Level)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("result %d uriBaseId = %q", i, loc.ArtifactLocation.URIBaseID)
+		}
+		if loc.ArtifactLocation.URI != diags[i].File || loc.Region.StartLine != diags[i].Line {
+			t.Errorf("result %d location = %s:%d, want %s:%d",
+				i, loc.ArtifactLocation.URI, loc.Region.StartLine, diags[i].File, diags[i].Line)
+		}
+	}
+
+	// Empty input still yields a well-formed log with the rule table.
+	empty, err := SARIF(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(empty, &log); err != nil {
+		t.Fatalf("empty SARIF invalid: %v", err)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("empty input produced results")
+	}
+}

@@ -1,57 +1,114 @@
 package lint
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 )
 
-// suppressions indexes a package's //lint:ignore comments. A suppression
-// covers the line it is written on and the line directly below it, so
-// both trailing and standalone placements work:
+// A suppression covers the line it is written on and the line directly
+// below it, so both trailing and standalone placements work:
 //
 //	x := a == b //lint:ignore floateq exact sentinel comparison
 //
 //	//lint:ignore errdrop best-effort write to a dying client
 //	_ = w.Flush()
-type suppressions struct {
-	// byLine maps file -> line -> analyzer names suppressed there.
-	byLine    map[string]map[int][]string
-	malformed []Diagnostic
-}
+//
+// Every suppression is debt: the inventory is tracked per run (see
+// baseline.go) and a suppression that matches no diagnostic is itself
+// reported as stale when the full suite runs.
 
 const ignorePrefix = "lint:ignore"
 
+// ParseIgnoreDirective parses the text of one comment (with or without
+// the leading "//") as a //lint:ignore directive. It returns ok=false
+// when the comment is not an ignore directive at all, and a non-nil err
+// when it is one but is malformed (no analyzer list or no reason).
+// Exposed for FuzzSuppressionParse: malformed input must be reported,
+// never panic.
+func ParseIgnoreDirective(text string) (names []string, reason string, ok bool, err error) {
+	text = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//"))
+	rest, found := strings.CutPrefix(text, ignorePrefix)
+	if !found {
+		return nil, "", false, nil
+	}
+	// "lint:ignoreX" is not the directive: the prefix must be the whole
+	// word (end of comment or whitespace before the analyzer list).
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false, nil
+	}
+	rest = strings.TrimSpace(rest)
+	nameList, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if nameList == "" || reason == "" {
+		return nil, "", true, fmt.Errorf("malformed //lint:ignore: want \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"")
+	}
+	for _, name := range strings.Split(nameList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, "", true, fmt.Errorf("malformed //lint:ignore: empty analyzer name in %q", nameList)
+		}
+		names = append(names, name)
+	}
+	return names, reason, true, nil
+}
+
+// suppEntry is one well-formed //lint:ignore comment.
+type suppEntry struct {
+	file   string
+	line   int
+	col    int
+	names  []string
+	reason string
+	// used records which of names actually suppressed a diagnostic.
+	used map[string]bool
+}
+
+// suppressions indexes a package's //lint:ignore comments.
+type suppressions struct {
+	entries []*suppEntry
+	// byLine maps file -> line -> entries written on that line.
+	byLine    map[string]map[int][]*suppEntry
+	malformed []Diagnostic
+}
+
 // collectSuppressions scans every comment in the package.
 func collectSuppressions(pkg *Package) *suppressions {
-	sup := &suppressions{byLine: map[string]map[int][]string{}}
+	sup := &suppressions{byLine: map[string]map[int][]*suppEntry{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, ignorePrefix) {
+				names, reason, isIgnore, err := ParseIgnoreDirective(c.Text)
+				if !isIgnore {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				file := pkg.relFile(pos.Filename)
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-				names, reason, _ := strings.Cut(rest, " ")
-				if names == "" || strings.TrimSpace(reason) == "" {
+				if err != nil {
 					sup.malformed = append(sup.malformed, Diagnostic{
 						Analyzer: "lint",
 						File:     file,
 						Line:     pos.Line,
 						Col:      pos.Column,
-						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"",
+						Message:  err.Error(),
 					})
 					continue
 				}
+				e := &suppEntry{
+					file:   file,
+					line:   pos.Line,
+					col:    pos.Column,
+					names:  names,
+					reason: reason,
+					used:   map[string]bool{},
+				}
+				sup.entries = append(sup.entries, e)
 				lines := sup.byLine[file]
 				if lines == nil {
-					lines = map[int][]string{}
+					lines = map[int][]*suppEntry{}
 					sup.byLine[file] = lines
 				}
-				for _, name := range strings.Split(names, ",") {
-					lines[pos.Line] = append(lines[pos.Line], name)
-				}
+				lines[pos.Line] = append(lines[pos.Line], e)
 			}
 		}
 	}
@@ -59,18 +116,75 @@ func collectSuppressions(pkg *Package) *suppressions {
 }
 
 // covers reports whether d is suppressed by an ignore comment on its own
-// line or on the line above.
+// line or on the line above, marking the matching entry as used.
 func (s *suppressions) covers(d Diagnostic) bool {
 	lines, ok := s.byLine[d.File]
 	if !ok {
 		return false
 	}
+	covered := false
 	for _, line := range []int{d.Line, d.Line - 1} {
-		for _, name := range lines[line] {
-			if name == d.Analyzer || name == "*" {
-				return true
+		for _, e := range lines[line] {
+			for _, name := range e.names {
+				if name == d.Analyzer || name == "*" {
+					e.used[name] = true
+					covered = true
+				}
 			}
 		}
 	}
-	return false
+	return covered
+}
+
+// stale reports, after every analyzer has run, the suppressions (or
+// individual analyzer mentions) that matched no diagnostic. known names
+// gate the "unknown analyzer" form; staleness itself is only meaningful
+// when the full suite ran, which the driver enforces.
+func (s *suppressions) stale(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		for _, name := range e.names {
+			if name != "*" && !known[name] {
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					File:     e.file,
+					Line:     e.line,
+					Col:      e.col,
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+				})
+				continue
+			}
+			if !e.used[name] {
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					File:     e.file,
+					Line:     e.line,
+					Col:      e.col,
+					Message:  fmt.Sprintf("stale suppression: no %s diagnostic on this line or the line below; delete the //lint:ignore (or this analyzer from its list)", name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// records converts the package's suppression inventory into ledger
+// records (see baseline.go), sorted by position.
+func (s *suppressions) records() []SuppressionRecord {
+	out := make([]SuppressionRecord, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, SuppressionRecord{
+			File:      e.file,
+			Line:      e.line,
+			Analyzers: append([]string(nil), e.names...),
+			Reason:    e.reason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+		ok     bool
+		err    bool
+	}{
+		{"// just a comment", nil, "", false, false},
+		{"//lint:ignoreX not the directive", nil, "", false, false},
+		{"//lint:ignore errdrop best-effort flush", []string{"errdrop"}, "best-effort flush", true, false},
+		{"  //  lint:ignore errdrop padded comment  ", []string{"errdrop"}, "padded comment", true, false},
+		{"lint:ignore floateq,errdrop shared reason", []string{"floateq", "errdrop"}, "shared reason", true, false},
+		{"//lint:ignore errdrop", nil, "", true, true}, // no reason
+		{"//lint:ignore", nil, "", true, true},         // nothing at all
+		{"//lint:ignore a,,b empty name", nil, "", true, true},
+	}
+	for _, c := range cases {
+		names, reason, ok, err := ParseIgnoreDirective(c.in)
+		if ok != c.ok || (err != nil) != c.err {
+			t.Errorf("ParseIgnoreDirective(%q): ok=%v err=%v, want ok=%v err=%v", c.in, ok, err, c.ok, c.err)
+			continue
+		}
+		if c.err || !c.ok {
+			continue
+		}
+		if !reflect.DeepEqual(names, c.names) || reason != c.reason {
+			t.Errorf("ParseIgnoreDirective(%q) = %v %q, want %v %q", c.in, names, reason, c.names, c.reason)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package detflow is the deterministic root of the taint fixture: it
+// contains no nondeterminism of its own (nondeterm would catch that),
+// but every exported entry point leans on the impure subpackage, and the
+// interprocedural analyzer must report each source there with the chain
+// back to the entry point.
+package detflow
+
+import "fixture/impure"
+
+// Plan derives one deterministic plan through impure helpers.
+func Plan() float64 {
+	impure.Spawn()
+	if impure.Env() == "" {
+		return 0
+	}
+	if len(impure.Keys(map[string]int{"a": 1})) == 0 {
+		return 0
+	}
+	if len(impure.SortedKeys(map[string]int{"a": 1})) == 0 {
+		return 0
+	}
+	if impure.Clock().IsZero() {
+		return 0
+	}
+	return impure.Stamp() + impure.Jitter()
+}

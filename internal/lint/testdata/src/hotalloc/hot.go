@@ -1,0 +1,107 @@
+// Package hotalloc exercises the interprocedural hot-path allocation
+// analyzer: the annotated root reaches allocating code through static
+// calls, interface dispatch, a method value fired through a dynamic
+// call, mutual recursion and a cross-package edge, and the analyzer must
+// report each with its chain. The cold-path and amortized-self-append
+// exemptions are the negative cases: Buffered.Consume and the error
+// branch stay quiet.
+package hotalloc
+
+import (
+	"fmt"
+
+	"fixture/sub"
+)
+
+// Sink is an interface the root dispatches through; both module
+// implementations join the closure.
+type Sink interface {
+	// Consume takes one sample.
+	Consume(v float64)
+}
+
+// Buffered collects samples into a reused buffer.
+type Buffered struct {
+	samples []float64
+}
+
+// Consume appends into the long-lived buffer: the amortized self-append
+// exemption keeps this quiet.
+func (b *Buffered) Consume(v float64) {
+	b.samples = append(b.samples, v)
+}
+
+// Boxed stores samples behind a fresh box per call.
+type Boxed struct {
+	last *float64
+}
+
+// Consume allocates a box for every sample — reached via interface
+// dispatch from the root, so it must be flagged with the dispatch hop in
+// the chain.
+func (b *Boxed) Consume(v float64) {
+	p := new(float64)
+	*p = v
+	b.last = p
+}
+
+// State carries the per-run scratch the hot loop reuses.
+type State struct {
+	buf   []float64
+	count int
+}
+
+// grow is mutual recursion partner one; the closure walk must terminate
+// on the cycle and still flag the allocation inside.
+func (s *State) grow(n int) {
+	if n <= 0 {
+		return
+	}
+	s.buf = make([]float64, n)
+	s.shrink(n - 1)
+}
+
+// shrink is mutual recursion partner two.
+func (s *State) shrink(n int) {
+	if n > 0 {
+		s.grow(n / 2)
+	}
+}
+
+// observe is the sampling hook the root fires through a function value:
+// the self-append is exempt, the scratch slice literal is not.
+func (s *State) observe(v float64) {
+	s.count++
+	s.buf = append(s.buf, v)
+	tmp := []float64{v, 2 * v}
+	s.buf = append(s.buf, tmp...)
+}
+
+// Hooks wires the method value into the replay — the reference edge that
+// pulls observe into the closure.
+func Hooks(s *State) func(float64) {
+	return s.observe
+}
+
+// Run drives one replay. A runtime allocation budget over Run would only
+// see the branches this exact input exercises; the static closure covers
+// them all — including the rare spill branch below.
+//
+//sprint:hotpath replay loop must stay allocation-free in steady state
+func Run(s *State, sink Sink, hook func(float64), rare bool) error {
+	if s == nil {
+		// Cold path: the block diverges with an error, so the
+		// known-allocating fmt call is exempt.
+		return fmt.Errorf("hotalloc: nil state")
+	}
+	defer func() { s.count = 0 }()
+	sink.Consume(1)
+	hook(2)
+	s.grow(4)
+	if rare {
+		// A branch no happy-path test drives: testing.AllocsPerRun
+		// misses it, the call-graph closure does not.
+		sub.Spill(s.buf)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package sub is the cross-package leg of the hotalloc fixture: its
+// allocation is only reachable through the root package's annotated
+// entry point, so the chain must cross the package boundary.
+package sub
+
+// Spill copies the overflow out of the hot buffer.
+func Spill(buf []float64) {
+	out := make([]float64, len(buf))
+	copy(out, buf)
+	keep(out)
+}
+
+var kept [][]float64
+
+// keep parks a spilled copy; the package-level append is growth the
+// exemption does not cover (the slice head is a plain identifier).
+func keep(out []float64) {
+	kept = append(kept, out)
+}

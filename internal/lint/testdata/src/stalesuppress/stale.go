@@ -1,0 +1,45 @@
+// Package stalesuppress exercises suppression and directive hygiene:
+// the used suppression is silent, while the stale one, the unknown
+// analyzer, the malformed directive and both bad //sprint: placements
+// are themselves diagnostics.
+package stalesuppress
+
+// eq is genuinely suppressed: floateq fires here and the ignore absorbs
+// it, so the directive is used and must NOT be reported as stale.
+func eq(a, b float64) bool {
+	return a == b //lint:ignore floateq exact sentinel comparison, the fixture's one used suppression
+}
+
+// add carries a suppression whose analyzer never fires on this line:
+// the staleness check must demand its deletion.
+func add(a, b float64) float64 {
+	//lint:ignore floateq no comparison happens here, this directive is dead
+	return a + b
+}
+
+// scale names an analyzer that does not exist.
+func scale(a float64) float64 {
+	//lint:ignore nosuchanalyzer typo'd analyzer names must not silently no-op
+	return 2 * a
+}
+
+// half carries a directive with no reason — malformed.
+func half(a float64) float64 {
+	//lint:ignore floateq
+	return a / 2
+}
+
+// late has a hotpath annotation in its body instead of its doc comment,
+// where it is inert; the driver must flag the placement.
+func late(a float64) float64 {
+	//sprint:hotpath this placement does nothing
+	return a + 1
+}
+
+//sprint:frobnicate unknown directives are flagged too
+
+var _ = eq
+var _ = add
+var _ = scale
+var _ = half
+var _ = late

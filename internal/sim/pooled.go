@@ -64,6 +64,7 @@ type PooledEngine struct {
 
 // NewPooled returns a pooled engine with the clock at zero.
 func NewPooled() *PooledEngine {
+	//lint:ignore hotalloc one engine per Runner, constructed on first use and recycled thereafter
 	return &PooledEngine{}
 }
 
@@ -190,6 +191,8 @@ func (e *PooledEngine) freeSlot(idx int32) {
 // slot is released before the callback runs, so callbacks can schedule
 // new events that reuse it (the fired event's own handle goes stale at
 // that moment).
+//
+//sprint:hotpath event dispatch fires millions of times per run (BenchmarkPooledEngine)
 func (e *PooledEngine) Step() bool {
 	if len(e.heap) == 0 {
 		return false

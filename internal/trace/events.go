@@ -87,8 +87,10 @@ func (w *EventWriter) Event(e obs.QueryEvent) {
 	if w.err != nil {
 		return
 	}
+	//lint:ignore hotalloc opt-in JSON tracer: traced runs trade allocations for event capture; alloc-free benchmarks run untraced
 	data, err := json.Marshal(e)
 	if err == nil {
+		//lint:ignore hotalloc same trade: the marshal buffer is the event record
 		_, err = w.bw.Write(append(data, '\n'))
 	}
 	if err != nil {
