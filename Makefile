@@ -72,6 +72,7 @@ cover:
 	}; \
 	check ./internal/sweep 90; \
 	check ./internal/queuesim 93; \
+	check ./internal/queuesim/dispatch 90; \
 	check ./internal/sim 95; \
 	check ./internal/explore 95; \
 	check ./internal/fault 90; \
@@ -96,6 +97,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzChromeTraceExport$$' -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzRateEstimator$$' -fuzztime 10s ./internal/online
 	$(GO) test -run '^$$' -fuzz '^FuzzRunDeterminism$$' -fuzztime 10s ./internal/queuesim
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDiscipline$$' -fuzztime 10s ./internal/queuesim
 	$(GO) test -run '^$$' -fuzz '^FuzzSuppressionParse$$' -fuzztime 10s ./internal/lint
 
 # chaos replays every built-in fault-injection scenario against the
@@ -127,7 +129,7 @@ alloc-check:
 # pooled RunReps must stay >=2x faster than the reference.
 .PHONY: bench-sim
 bench-sim:
-	$(GO) test -run '^$$' -bench 'BenchmarkSim(Run|RunInto|RunReference|RunReps|RunRepsReference)$$' -benchmem ./internal/queuesim/
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Run|RunInto|RunReference|RunReps|RunRepsReference|RunRepsSRPT)$$' -benchmem ./internal/queuesim/
 	$(GO) test -run '^$$' -bench 'SimulateRT' -benchmem ./internal/calib/
 
 # bench-sweep measures the policy-sweep engine: serial vs sharded

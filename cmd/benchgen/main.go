@@ -103,6 +103,10 @@ func steps() []step {
 			r, err := experiments.Ablations(l)
 			return r.Table(), err
 		}},
+		{"disciplines", func(l *experiments.Lab) (experiments.Table, error) {
+			r, err := experiments.DisciplineSweep(l, nil)
+			return r.Table(), err
+		}},
 		{"tailacc", func(l *experiments.Lab) (experiments.Table, error) {
 			r, err := experiments.TailAccuracy(l)
 			return r.Table(), err

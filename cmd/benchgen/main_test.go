@@ -10,7 +10,8 @@ func TestStepsCoverEveryFigureAndTable(t *testing.T) {
 	want := []string{
 		"fig1", "table1c", "mmk", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig9", "fig10", "datascaling", "fig11", "fig12a", "fig12b",
-		"fig12c", "fig13", "tail", "fig14", "ablations", "tailacc",
+		"fig12c", "fig13", "tail", "fig14", "ablations", "disciplines",
+		"tailacc",
 	}
 	got := steps()
 	if len(got) != len(want) {

@@ -1,0 +1,116 @@
+package main
+
+// The disciplines command: compare queueing disciplines (and multi-queue
+// dispatchers) head to head on one simulated workload, without needing a
+// profiled dataset — the operator's quick answer to "would SRPT or a
+// two-queue fan-out help here?".
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/experiments"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/queuesim/dispatch"
+	"mdsprint/internal/stats"
+)
+
+func cmdDisciplines(args []string) error {
+	fs := flag.NewFlagSet("disciplines", flag.ExitOnError)
+	arrival := fs.String("arrival", "", "interarrival-time dist spec (default: exponential at -rate)")
+	rate := fs.Float64("rate", 0.016, "arrival rate in queries/second")
+	service := fs.String("service", "lognormal(62.5,0.3)", "service-time dist spec at normal speed")
+	sprintRate := fs.Float64("sprint-rate", 0, "sprinting service rate in queries/second (0 = 1.5x normal)")
+	timeout := fs.Float64("timeout", 60, "sprint timeout in seconds (negative disables sprinting)")
+	budget := fs.Float64("budget", 0.3, "sprint budget as a fraction of the refill window")
+	refill := fs.Float64("refill", 600, "budget refill window in seconds")
+	servers := fs.Int("servers", 1, "per-server queues to fan arrivals across")
+	disciplines := fs.String("disciplines", "fifo,lifo,srpt,serpt(0.3),ps", "comma-separated discipline specs")
+	dispatchSpec := fs.String("dispatch", "jsq", "dispatcher spec when -servers > 1: jsq, lwl, rr or rnd(d)")
+	queries := fs.Int("queries", 4000, "simulated queries per replication")
+	reps := fs.Int("reps", 3, "replications per discipline")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc, err := dist.ParseDist(*service)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	mu := 1 / svc.Mean()
+	var arr dist.Dist
+	if *arrival != "" {
+		if arr, err = dist.ParseDist(*arrival); err != nil {
+			return fmt.Errorf("arrival: %w", err)
+		}
+	}
+	mue := *sprintRate
+	//lint:ignore floateq 0 is the flag's literal unset default, not a computed value
+	if mue == 0 {
+		mue = 1.5 * mu
+	}
+	var dsp queuesim.Dispatcher
+	if *servers > 1 {
+		if dsp, err = dispatch.Parse(*dispatchSpec); err != nil {
+			return err
+		}
+	}
+
+	tbl := experiments.Table{
+		Title:   fmt.Sprintf("disciplines — rate %.3g q/s, service %s, sprint %.3g q/s, timeout %.0fs", *rate, svc, mue, *timeout),
+		Columns: []string{"discipline", "mean RT", "p95 RT", "p99 RT", "engages", "preempts"},
+	}
+	for _, spec := range strings.Split(*disciplines, ",") {
+		d, err := queuesim.ParseDiscipline(strings.TrimSpace(spec))
+		if err != nil {
+			return err
+		}
+		p := queuesim.Params{
+			ArrivalRate:   *rate,
+			Arrival:       arr,
+			Service:       svc,
+			ServiceRate:   mu,
+			SprintRate:    mue,
+			Timeout:       *timeout,
+			BudgetSeconds: *budget * *refill,
+			RefillTime:    *refill,
+			NumQueries:    *queries,
+			Warmup:        *queries / 10,
+			Discipline:    d,
+			Servers:       *servers,
+			Dispatch:      dsp,
+			Seed:          *seed,
+		}
+		if d.Kind == queuesim.DiscPS {
+			// PS runs without sprinting (no per-query timeout moment).
+			p.Timeout = -1
+			p.BudgetSeconds = 0
+		}
+		results, err := queuesim.RunReps(p, *reps)
+		if err != nil {
+			return err
+		}
+		var rts []float64
+		var engages, preempts int
+		for _, r := range results {
+			rts = append(rts, r.RTs...)
+			engages += r.Engages
+			preempts += r.Preemptions
+		}
+		sum := stats.Summarize(rts)
+		tbl.AddRow(d.String(),
+			fmt.Sprintf("%.1fs", sum.Mean),
+			fmt.Sprintf("%.1fs", sum.P95),
+			fmt.Sprintf("%.1fs", sum.P99),
+			fmt.Sprintf("%d", engages),
+			fmt.Sprintf("%d", preempts))
+	}
+	if *servers > 1 {
+		tbl.AddNote("arrivals fanned across %d queues by %s, sharing one sprint budget", *servers, dsp.Canon())
+	}
+	fmt.Print(tbl.String())
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ferr
+}
+
+func TestCmdDisciplinesTable(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdDisciplines([]string{
+			"-rate", "0.016", "-service", "lognormal(62.5,0.3)",
+			"-queries", "800", "-reps", "2", "-seed", "7",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fifo", "lifo", "srpt", "serpt(0.3)", "ps", "mean RT", "preempts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// SRPT must actually preempt under this workload: its row must not
+	// report zero preemptions.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "srpt ") {
+			fields := strings.Fields(line)
+			if fields[len(fields)-1] == "0" {
+				t.Fatalf("srpt row reports no preemptions: %q", line)
+			}
+		}
+	}
+}
+
+func TestCmdDisciplinesMultiQueue(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdDisciplines([]string{
+			"-rate", "0.03", "-service", "lognormal(62.5,0.3)",
+			"-servers", "2", "-dispatch", "rnd(2)",
+			"-disciplines", "fifo,srpt",
+			"-queries", "800", "-reps", "2", "-seed", "7",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rnd(2)") || !strings.Contains(out, "2 queues") {
+		t.Fatalf("multi-queue note missing:\n%s", out)
+	}
+}
+
+func TestCmdDisciplinesErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-service", "nope(1)"},
+		{"-arrival", "nope(1)"},
+		{"-disciplines", "bogus"},
+		{"-servers", "2", "-dispatch", "bogus"},
+	} {
+		if _, err := captureStdout(t, func() error { return cmdDisciplines(args) }); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -9,6 +9,9 @@
 //	    predict response time for one sprinting policy
 //	sprintctl explore -dataset ds.json -util 0.8 -budget 0.3 -refill 600
 //	    anneal the timeout space for the lowest expected response time
+//	sprintctl disciplines -rate 0.016 -service 'lognormal(62.5,0.3)' -servers 2 -dispatch jsq
+//	    compare queueing disciplines (fifo, lifo, srpt, serpt, ps) and
+//	    multi-queue dispatchers head to head on one simulated workload
 //	sprintctl colocate -combo 1
 //	    plan burstable-instance colocation for a Figure 13 combo
 //	sprintctl chaos -scenario model-divergence [-out timeline.json]
@@ -175,6 +178,8 @@ func run(args []string) int {
 		err = cmdExplore(rest[1:])
 	case "colocate":
 		err = cmdColocate(rest[1:])
+	case "disciplines":
+		err = cmdDisciplines(rest[1:])
 	case "chaos":
 		err = cmdChaos(ctx, rest[1:])
 	case "monitor":
@@ -225,7 +230,7 @@ func startDebugServer(addr string) (*obs.DebugServer, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|colocate|chaos|monitor|pipeline> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|disciplines|colocate|chaos|monitor|pipeline> [flags]")
 	fmt.Fprintln(os.Stderr, "       sprintctl -chaos <scenario|all>")
 	fmt.Fprintln(os.Stderr, "       sprintctl -version")
 	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")

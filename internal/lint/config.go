@@ -48,6 +48,7 @@ func DefaultConfig() *Config {
 		// replay: identical inputs must yield identical outputs.
 		DeterministicPackages: []string{
 			"internal/queuesim",
+			"internal/queuesim/dispatch",
 			"internal/sim",
 			"internal/forest",
 			"internal/dist",

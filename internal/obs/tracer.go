@@ -36,6 +36,17 @@ const (
 	EvRefill EventType = "refill"
 	// EvDeparture: the query completed. Value is its response time.
 	EvDeparture EventType = "departure"
+	// EvDispatch: a multi-queue dispatcher routed the arrival to a
+	// server. Value is the chosen server index. Emitted only when the
+	// simulator runs with more than one server.
+	EvDispatch EventType = "dispatch"
+	// EvPreempt: a size-ordered discipline (SRPT/SERPT) suspended the
+	// query mid-service in favour of a shorter arrival. Value is the
+	// query's remaining service time at suspension.
+	EvPreempt EventType = "preempt"
+	// EvResume: a previously preempted query re-entered service. Value
+	// is its remaining service time at resumption.
+	EvResume EventType = "resume"
 )
 
 // QueryEvent is one per-query lifecycle record emitted by the simulator.

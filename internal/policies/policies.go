@@ -42,6 +42,13 @@ type Context struct {
 	SimQueries int
 	SimReps    int
 	Seed       uint64
+	// Discipline selects the ready-queue ordering the workload runs
+	// under (zero value: the paper's FIFO). Servers > 1 fans arrivals
+	// across per-server queues via Dispatch; both zero values keep the
+	// single central queue.
+	Discipline queuesim.Discipline
+	Servers    int
+	Dispatch   queuesim.Dispatcher
 	// Engine evaluates the model simulations; nil uses sweep.Shared(),
 	// so settings revisited across baselines are memoized.
 	Engine *sweep.Engine
@@ -97,6 +104,9 @@ func simParams(c Context, timeout, budgetPct, sprintRate float64) queuesim.Param
 		RefillTime:    c.RefillTime,
 		NumQueries:    c.SimQueries,
 		Warmup:        c.SimQueries / 10,
+		Discipline:    c.Discipline,
+		Servers:       c.Servers,
+		Dispatch:      c.Dispatch,
 		Seed:          c.Seed,
 	}
 }

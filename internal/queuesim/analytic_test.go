@@ -248,3 +248,98 @@ func TestLittlesLawInvariant(t *testing.T) {
 		})
 	}
 }
+
+// TestPSInsensitivityMM1 checks processor sharing against its famous
+// insensitivity result: for M/M/1-PS the mean response time equals
+// M/M/1-FIFO's 1/(mu - lambda) (PS's mean depends on the service
+// distribution only through its mean). Both disciplines are simulated on
+// the same seed and compared to the closed form.
+func TestPSInsensitivityMM1(t *testing.T) {
+	const lambda, mu = 0.7, 1.0
+	const queries = 60000
+	want := 1 / (mu - lambda)
+
+	pf := mmParams(lambda, mu, 1, queries, 41)
+	fifo := MustRun(pf)
+	pp := pf
+	pp.Discipline = Discipline{Kind: DiscPS}
+	ps := MustRun(pp)
+
+	if rel := math.Abs(ps.MeanRT()-want) / want; rel > 0.06 {
+		t.Errorf("M/M/1-PS mean RT %.4f vs closed form %.4f (rel err %.3f)", ps.MeanRT(), want, rel)
+	}
+	if rel := math.Abs(ps.MeanRT()-fifo.MeanRT()) / fifo.MeanRT(); rel > 0.08 {
+		t.Errorf("M/M/1-PS mean RT %.4f vs M/M/1-FIFO %.4f (rel err %.3f); insensitivity violated",
+			ps.MeanRT(), fifo.MeanRT(), rel)
+	}
+}
+
+// srptMM1MeanRT numerically evaluates the Schrage–Miller transform-free
+// closed form for the M/G/1-SRPT mean response time with exponential
+// service at rate mu:
+//
+//	E[T(x)] = lambda*(m2(x) + x^2*(1-F(x))) / (2*(1-rho(x))^2)
+//	        + integral_0^x dt / (1 - rho(t))
+//	E[T]    = integral_0^inf E[T(x)] f(x) dx
+//
+// with rho(x) = lambda*m1(x), m1(x) = int_0^x t f(t) dt and
+// m2(x) = int_0^x t^2 f(t) dt, which for f = mu*exp(-mu t) have the
+// closed antiderivatives used below. The outer integral and the inner
+// waiting integral are evaluated on one shared trapezoidal grid.
+func srptMM1MeanRT(lambda, mu float64) float64 {
+	upper := 40.0 / mu // exp(-40) tail: negligible mass
+	const n = 40000
+	h := upper / n
+	rho := func(x float64) float64 {
+		m1 := (1 - math.Exp(-mu*x)*(1+mu*x)) / mu
+		return lambda * m1
+	}
+	// Cumulative waiting integral W(x) = int_0^x dt/(1-rho(t)).
+	wait := 0.0
+	mean := 0.0
+	prevInv := 1 / (1 - rho(0))
+	for i := 1; i <= n; i++ {
+		x := float64(i) * h
+		inv := 1 / (1 - rho(x))
+		wait += 0.5 * (prevInv + inv) * h
+		prevInv = inv
+		e := math.Exp(-mu * x)
+		m2 := (2 - e*(mu*mu*x*x+2*mu*x+2)) / (mu * mu)
+		res := lambda * (m2 + x*x*e) / (2 * (1 - rho(x)) * (1 - rho(x)))
+		f := mu * e
+		mean += (res + wait) * f * h
+	}
+	return mean
+}
+
+// TestSRPTClosedFormMM1 validates the SRPT discipline against the
+// Schrage–Miller M/G/1-SRPT mean response time at two utilizations. SRPT
+// is the optimality benchmark, so getting its absolute level right (not
+// just "better than FIFO") is what makes discipline comparisons
+// trustworthy.
+func TestSRPTClosedFormMM1(t *testing.T) {
+	cases := []struct {
+		lambda, mu, tol float64
+	}{
+		{0.5, 1, 0.04},
+		{0.8, 1, 0.06},
+	}
+	for _, tc := range cases {
+		want := srptMM1MeanRT(tc.lambda, tc.mu)
+		p := mmParams(tc.lambda, tc.mu, 1, 60000, 59)
+		p.Discipline = Discipline{Kind: DiscSRPT}
+		res := MustRun(p)
+		if res.Preemptions == 0 {
+			t.Fatalf("lambda=%v: SRPT run never preempted (vacuous)", tc.lambda)
+		}
+		if rel := math.Abs(res.MeanRT()-want) / want; rel > tc.tol {
+			t.Errorf("lambda=%v: M/M/1-SRPT mean RT %.4f vs Schrage–Miller %.4f (rel err %.3f > %.3f)",
+				tc.lambda, res.MeanRT(), want, rel, tc.tol)
+		}
+		// Sanity: the closed form itself must sit below FIFO's 1/(mu-lambda).
+		fifoW := 1 / (tc.mu - tc.lambda)
+		if want >= fifoW {
+			t.Fatalf("closed form %.4f >= FIFO %.4f; integration bug", want, fifoW)
+		}
+	}
+}

@@ -97,3 +97,20 @@ func BenchmarkSimRunRepsReference(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimRunRepsSRPT replays the replication loop with the
+// preemptive SRPT discipline: same workload, but every dispatch decision
+// goes through the intrusive index heap and long jobs get preempted, so
+// this row prices the ordered-ready-queue machinery against the FIFO
+// ring (BenchmarkSimRunReps).
+func BenchmarkSimRunRepsSRPT(b *testing.B) {
+	p := benchParams()
+	p.Discipline = Discipline{Kind: DiscSRPT}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i)*seedStride + 1
+		if _, err := RunReps(p, benchReps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package queuesim
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/stats"
+)
+
+// scriptDist replays a fixed sequence of values, cycling. It lets the
+// scenario tests below pin exact arrival and service times so a
+// discipline's schedule can be verified by hand.
+type scriptDist struct {
+	vals []float64
+	i    *int
+}
+
+func newScript(vals ...float64) scriptDist { i := 0; return scriptDist{vals: vals, i: &i} }
+
+func (d scriptDist) Sample(*dist.RNG) float64 {
+	v := d.vals[*d.i%len(d.vals)]
+	*d.i++
+	return v
+}
+
+func (d scriptDist) Mean() float64 {
+	s := 0.0
+	for _, v := range d.vals {
+		s += v
+	}
+	return s / float64(len(d.vals))
+}
+
+func (d scriptDist) String() string { return "script" }
+
+// scriptParams builds a no-sprint run with scripted interarrivals and
+// service times.
+func scriptParams(inter, service []float64, n int) Params {
+	return Params{
+		ArrivalRate:   1,
+		Arrival:       newScript(inter...),
+		Service:       newScript(service...),
+		ServiceRate:   1,
+		Timeout:       -1,
+		BudgetSeconds: 0,
+		NumQueries:    n,
+	}
+}
+
+func TestParseDiscipline(t *testing.T) {
+	valid := []struct {
+		spec string
+		want Discipline
+	}{
+		{"fifo", Discipline{Kind: DiscFIFO}},
+		{"FIFO", Discipline{Kind: DiscFIFO}},
+		{" lifo ", Discipline{Kind: DiscLIFO}},
+		{"srpt", Discipline{Kind: DiscSRPT}},
+		{"ps", Discipline{Kind: DiscPS}},
+		{"serpt", Discipline{Kind: DiscSERPT}},
+		{"serpt(0.3)", Discipline{Kind: DiscSERPT, PredictCV: 0.3}},
+		{"SERPT( 2 )", Discipline{Kind: DiscSERPT, PredictCV: 2}},
+	}
+	for _, tc := range valid {
+		got, err := ParseDiscipline(tc.spec)
+		if err != nil {
+			t.Errorf("ParseDiscipline(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseDiscipline(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+		// The String form must round-trip to the same discipline.
+		back, err := ParseDiscipline(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip %q -> %q -> %+v (%v)", tc.spec, got.String(), back, err)
+		}
+	}
+	invalid := []string{
+		"", "sjf", "fifo(1)", "lifo(2)", "ps(0.5)", "serpt(", "serpt)",
+		"serpt(x)", "serpt(-1)", "serpt(NaN)", "serpt(1e99)",
+	}
+	for _, spec := range invalid {
+		if d, err := ParseDiscipline(spec); err == nil {
+			t.Errorf("ParseDiscipline(%q) = %+v, want error", spec, d)
+		}
+	}
+}
+
+func TestDisciplineValidate(t *testing.T) {
+	base := mmParams(0.5, 1, 1, 100, 1)
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"unknown kind", func(p *Params) { p.Discipline.Kind = "sjf" }},
+		{"cv on fifo", func(p *Params) { p.Discipline = Discipline{Kind: DiscFIFO, PredictCV: 0.5} }},
+		{"negative cv", func(p *Params) { p.Discipline = Discipline{Kind: DiscSERPT, PredictCV: -1} }},
+		{"nan cv", func(p *Params) { p.Discipline = Discipline{Kind: DiscSERPT, PredictCV: math.NaN()} }},
+		{"ps with sprinting", func(p *Params) {
+			p.Discipline.Kind = DiscPS
+			p.Timeout = 1
+			p.BudgetSeconds = 10
+		}},
+		{"negative servers", func(p *Params) { p.Servers = -1 }},
+		{"servers without dispatch", func(p *Params) { p.Servers = 2 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mut(&p)
+		if _, err := Run(p); err == nil {
+			t.Errorf("%s: Run accepted invalid params", tc.name)
+		}
+	}
+	// PS without sprinting is fine.
+	p := base
+	p.Discipline.Kind = DiscPS
+	if _, err := Run(p); err != nil {
+		t.Errorf("ps without sprinting: %v", err)
+	}
+}
+
+// TestSRPTPreemptsLongJob pins the canonical SRPT schedule: a long job in
+// service is preempted by a short arrival and resumes where it left off.
+//
+//	t=1: job0 arrives (service 10), starts
+//	t=2: job1 arrives (service 3) -> preempts job0 (remaining 9)
+//	t=5: job1 departs (RT 3); job0 resumes with 9 remaining
+//	t=14: job0 departs (RT 13)
+//
+// RTs are recorded in departure order: job1 first.
+func TestSRPTPreemptsLongJob(t *testing.T) {
+	p := scriptParams([]float64{1, 1, 1000}, []float64{10, 3}, 2)
+	p.Discipline = Discipline{Kind: DiscSRPT}
+	tr := obs.NewRingTracer(64)
+	p.Tracer = tr
+	res := MustRun(p)
+	wantRTs := []float64{3, 13}
+	for i, want := range wantRTs {
+		if !stats.ApproxEqual(res.RTs[i], want, 1e-12) {
+			t.Errorf("RTs[%d] = %v, want %v", i, res.RTs[i], want)
+		}
+	}
+	if res.Preemptions != 1 {
+		t.Errorf("Preemptions = %d, want 1", res.Preemptions)
+	}
+	// The trace must show the preempt/resume pair with remaining work 9.
+	var sawPreempt, sawResume bool
+	for _, e := range tr.Events() {
+		switch e.Type {
+		case obs.EvPreempt:
+			sawPreempt = true
+			if e.Query != 0 || !stats.ApproxEqual(e.Value, 9, 1e-12) {
+				t.Errorf("preempt event %+v, want query 0 remaining 9", e)
+			}
+		case obs.EvResume:
+			sawResume = true
+			if e.Query != 0 || !stats.ApproxEqual(e.Time, 5, 1e-12) {
+				t.Errorf("resume event %+v, want query 0 at t=5", e)
+			}
+		}
+	}
+	if !sawPreempt || !sawResume {
+		t.Errorf("trace missing preempt (%v) or resume (%v)", sawPreempt, sawResume)
+	}
+	// FIFO on the same script serves in arrival order: RTs 10 and 12.
+	pf := scriptParams([]float64{1, 1, 1000}, []float64{10, 3}, 2)
+	rf := MustRun(pf)
+	if !stats.ApproxEqual(rf.RTs[0], 10, 1e-12) || !stats.ApproxEqual(rf.RTs[1], 12, 1e-12) {
+		t.Errorf("FIFO RTs = %v, want [10 12]", rf.RTs)
+	}
+	if rf.Preemptions != 0 {
+		t.Errorf("FIFO preempted %d times", rf.Preemptions)
+	}
+}
+
+// TestSRPTTieDoesNotPreempt: an arrival equal to the running job's
+// remaining work must not displace it.
+func TestSRPTTieDoesNotPreempt(t *testing.T) {
+	// t=1: job0 (service 4) starts. t=2: job1 (service 3) arrives with
+	// key 3 == job0's remaining 3 -> no preemption.
+	p := scriptParams([]float64{1, 1, 1000}, []float64{4, 3}, 2)
+	p.Discipline = Discipline{Kind: DiscSRPT}
+	res := MustRun(p)
+	if res.Preemptions != 0 {
+		t.Fatalf("Preemptions = %d, want 0 on tie", res.Preemptions)
+	}
+	if !stats.ApproxEqual(res.RTs[0], 4, 1e-12) || !stats.ApproxEqual(res.RTs[1], 6, 1e-12) {
+		t.Errorf("RTs = %v, want [4 6]", res.RTs)
+	}
+}
+
+// TestLIFOOrder pins the non-preemptive last-in-first-out schedule.
+func TestLIFOOrder(t *testing.T) {
+	// Arrivals t=1,2,3 with services 10,5,5 on one slot. Job0 runs to
+	// t=11; LIFO then serves job2 (most recent, RT 13) before job1
+	// (RT 19). Departure order: job0, job2, job1.
+	p := scriptParams([]float64{1, 1, 1, 1000}, []float64{10, 5, 5}, 3)
+	p.Discipline = Discipline{Kind: DiscLIFO}
+	res := MustRun(p)
+	want := []float64{10, 13, 19}
+	for i, w := range want {
+		if !stats.ApproxEqual(res.RTs[i], w, 1e-12) {
+			t.Errorf("LIFO RTs[%d] = %v, want %v", i, res.RTs[i], w)
+		}
+	}
+	if res.Preemptions != 0 {
+		t.Errorf("LIFO preempted %d times", res.Preemptions)
+	}
+}
+
+// TestPSEgalitarianSharing pins the processor-sharing schedule: two jobs
+// share the slot equally, both finishing later than either would alone.
+func TestPSEgalitarianSharing(t *testing.T) {
+	// t=1: job0 (service 4) alone at rate 1. t=2: job1 (service 4)
+	// joins; both progress at 1/2. Job0 (3 remaining) departs at t=8;
+	// job1 (1 remaining, rate back to 1) departs at t=9. RTs: 7 and 7.
+	p := scriptParams([]float64{1, 1, 1000}, []float64{4, 4}, 2)
+	p.Discipline = Discipline{Kind: DiscPS}
+	res := MustRun(p)
+	if !stats.ApproxEqual(res.RTs[0], 7, 1e-9) || !stats.ApproxEqual(res.RTs[1], 7, 1e-9) {
+		t.Errorf("PS RTs = %v, want [7 7]", res.RTs)
+	}
+	for i, qt := range res.QueueingTimes {
+		if qt != 0 {
+			t.Errorf("PS QueueingTimes[%d] = %v, want 0 (PS never queues)", i, qt)
+		}
+	}
+}
+
+// TestSERPTZeroCVMatchesSRPT: with perfect predictions SERPT is SRPT,
+// bit for bit.
+func TestSERPTZeroCVMatchesSRPT(t *testing.T) {
+	p := mmParams(0.7, 1, 1, 3000, 97)
+	p.Discipline = Discipline{Kind: DiscSRPT}
+	a := MustRun(p)
+	p.Discipline = Discipline{Kind: DiscSERPT}
+	b := MustRun(p)
+	requireFloatsBitIdentical(t, "RTs", a.RTs, b.RTs)
+	requireFloatsBitIdentical(t, "QueueingTimes", a.QueueingTimes, b.QueueingTimes)
+	if a.Preemptions != b.Preemptions {
+		t.Errorf("Preemptions: srpt %d vs serpt(0) %d", a.Preemptions, b.Preemptions)
+	}
+}
+
+// TestSERPTNoiseChangesSchedule: noisy predictions must change the
+// schedule (otherwise the noise stream is dead code) while leaving the
+// arrival/service draws untouched — the departure-time *set* stays
+// work-conserving, checked elsewhere.
+func TestSERPTNoiseChangesSchedule(t *testing.T) {
+	p := mmParams(0.8, 1, 1, 3000, 97)
+	p.Discipline = Discipline{Kind: DiscSRPT}
+	a := MustRun(p)
+	p.Discipline = Discipline{Kind: DiscSERPT, PredictCV: 1.5}
+	b := MustRun(p)
+	same := len(a.RTs) == len(b.RTs)
+	if same {
+		for i := range a.RTs {
+			if math.Float64bits(a.RTs[i]) != math.Float64bits(b.RTs[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("serpt(1.5) produced the identical schedule to srpt")
+	}
+}
+
+// TestSRPTBeatsFIFOOnMeanRT: SRPT minimizes mean response time among
+// all disciplines, so on a common random workload its simulated mean
+// must not exceed FIFO's.
+func TestSRPTBeatsFIFOOnMeanRT(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 88} {
+		p := mmParams(0.8, 1, 1, 8000, seed)
+		fifo := MustRun(p)
+		p.Discipline = Discipline{Kind: DiscSRPT}
+		srpt := MustRun(p)
+		if srpt.MeanRT() > fifo.MeanRT() {
+			t.Errorf("seed %d: SRPT mean RT %.4f > FIFO %.4f", seed, srpt.MeanRT(), fifo.MeanRT())
+		}
+		if srpt.Preemptions == 0 {
+			t.Errorf("seed %d: SRPT run never preempted (vacuous)", seed)
+		}
+	}
+}
+
+// TestRoundRobinDispatchOrder pins the multi-queue fan-out: round-robin
+// alternates servers regardless of load, and the dispatch events record
+// the chosen server.
+func TestRoundRobinDispatchOrder(t *testing.T) {
+	p := scriptParams([]float64{1, 1, 1, 1, 1000}, []float64{3, 3, 3, 3}, 4)
+	p.Servers = 2
+	p.Dispatch = rrDispatcher{}
+	tr := obs.NewRingTracer(64)
+	p.Tracer = tr
+	res := MustRun(p)
+	// Servers 0 and 1 each serve two jobs FIFO: arrivals 1,2,3,4 ->
+	// job0 (s0) 1->4, job1 (s1) 2->5, job2 (s0) queued to 4->7 (RT 4),
+	// job3 (s1) queued to 5->8 (RT 4).
+	want := []float64{3, 3, 4, 4}
+	for i, w := range want {
+		if !stats.ApproxEqual(res.RTs[i], w, 1e-12) {
+			t.Errorf("RTs[%d] = %v, want %v", i, res.RTs[i], w)
+		}
+	}
+	var servers []int
+	for _, e := range tr.Events() {
+		if e.Type == obs.EvDispatch {
+			servers = append(servers, int(e.Value))
+		}
+	}
+	wantServers := []int{0, 1, 0, 1}
+	if len(servers) != len(wantServers) {
+		t.Fatalf("dispatch events %v, want %v", servers, wantServers)
+	}
+	for i := range servers {
+		if servers[i] != wantServers[i] {
+			t.Fatalf("dispatch events %v, want %v", servers, wantServers)
+		}
+	}
+}
+
+// rrDispatcher is a local round-robin used to avoid importing the
+// dispatch package (which depends on queuesim) from its own dependency's
+// tests.
+type rrDispatcher struct{}
+
+func (rrDispatcher) Canon() string { return "rr" }
+func (rrDispatcher) Pick(v ServerView, st *DispatchState) int {
+	s := st.Cursor % v.NumServers()
+	st.Cursor++
+	return s
+}
+
+// jsqDispatcher is a local join-shortest-queue for the same reason.
+type jsqDispatcher struct{}
+
+func (jsqDispatcher) Canon() string { return "jsq" }
+func (jsqDispatcher) Pick(v ServerView, _ *DispatchState) int {
+	best, bestLen := 0, v.QueueLen(0)
+	for s := 1; s < v.NumServers(); s++ {
+		if l := v.QueueLen(s); l < bestLen {
+			best, bestLen = s, l
+		}
+	}
+	return best
+}
+
+// TestJSQAvoidsBusyServer: with one server pinned by a long job, JSQ
+// must route later arrivals to the idle one.
+func TestJSQAvoidsBusyServer(t *testing.T) {
+	p := scriptParams([]float64{1, 1, 1, 1000}, []float64{100, 2, 2}, 3)
+	p.Servers = 2
+	p.Dispatch = jsqDispatcher{}
+	tr := obs.NewRingTracer(64)
+	p.Tracer = tr
+	res := MustRun(p)
+	var servers []int
+	for _, e := range tr.Events() {
+		if e.Type == obs.EvDispatch {
+			servers = append(servers, int(e.Value))
+		}
+	}
+	// Job0 -> server 0 (tie, lowest index). Job1 -> server 1 (0 busy).
+	// Job2 at t=3: server 0 has 1 resident, server 1 has 1 -> tie,
+	// lowest index 0... but server 0's job runs 100s, so JSQ's
+	// length-only view picks 0 and job2 waits behind it? No: both have
+	// exactly one resident, JSQ ties to 0, and job2 queues 97s. That IS
+	// join-shortest-queue's known blindness; pin it.
+	wantServers := []int{0, 1, 0}
+	for i := range wantServers {
+		if i >= len(servers) || servers[i] != wantServers[i] {
+			t.Fatalf("dispatch events %v, want %v", servers, wantServers)
+		}
+	}
+	// First departure is job1, served immediately on the idle server.
+	if !stats.ApproxEqual(res.RTs[0], 2, 1e-12) {
+		t.Errorf("RTs[0] = %v, want 2 (idle server)", res.RTs[0])
+	}
+}
+
+// TestMultiQueueSharedBudget: two servers sprint against one accountant —
+// total sprint seconds must respect the shared budget, and both servers
+// must engage.
+func TestMultiQueueSharedBudget(t *testing.T) {
+	// allocParams' tight refilling budget, doubled in arrival rate and
+	// fanned over two servers: the shared accountant must still bound
+	// consumption by supply and still hit exhaustion episodes.
+	p := allocParams()
+	p.ArrivalRate *= 2
+	p.Servers = 2
+	p.Dispatch = rrDispatcher{}
+	p.NumQueries = 4000
+	res := MustRun(p)
+	if res.Engages == 0 {
+		t.Fatal("no sprints engaged")
+	}
+	if res.Exhaustions == 0 {
+		t.Fatal("tight shared budget never exhausted (vacuous)")
+	}
+	supply := res.BudgetSupply(p)
+	if res.SprintSeconds > supply*(1+1e-9) {
+		t.Errorf("consumed %v sprint seconds from a %v supply", res.SprintSeconds, supply)
+	}
+}
+
+// TestDisciplineRunnerReuse drives one runner through every discipline
+// back to back and then re-runs each config on a fresh runner: pooled
+// state must never leak a discipline's ordering into the next run.
+func TestDisciplineRunnerReuse(t *testing.T) {
+	discs := []Discipline{
+		{Kind: DiscFIFO}, {Kind: DiscSRPT}, {Kind: DiscPS},
+		{Kind: DiscLIFO}, {Kind: DiscSERPT, PredictCV: 0.5}, {Kind: DiscFIFO},
+	}
+	shared := NewRunner()
+	for _, d := range discs {
+		p := mmParams(0.7, 1, 1, 2000, 123)
+		p.Discipline = d
+		var reused, fresh Result
+		if err := shared.RunInto(p, &reused); err != nil {
+			t.Fatalf("%v on shared runner: %v", d, err)
+		}
+		if err := NewRunner().RunInto(p, &fresh); err != nil {
+			t.Fatalf("%v on fresh runner: %v", d, err)
+		}
+		requireFloatsBitIdentical(t, d.String(), fresh.RTs, reused.RTs)
+	}
+}
+
+// TestMultiServerRunnerReuse shrinks and regrows the server count on one
+// runner; per-server state must be fully re-zeroed between runs.
+func TestMultiServerRunnerReuse(t *testing.T) {
+	r := NewRunner()
+	for _, servers := range []int{4, 1, 2, 4} {
+		p := mmParams(0.6*float64(servers), 1, 1, 2000, 7)
+		if servers > 1 {
+			p.Servers = servers
+			p.Dispatch = jsqDispatcher{}
+		}
+		var reused, fresh Result
+		if err := r.RunInto(p, &reused); err != nil {
+			t.Fatalf("servers=%d: %v", servers, err)
+		}
+		if err := NewRunner().RunInto(p, &fresh); err != nil {
+			t.Fatalf("servers=%d fresh: %v", servers, err)
+		}
+		requireFloatsBitIdentical(t, "RTs", fresh.RTs, reused.RTs)
+	}
+}

@@ -1,0 +1,94 @@
+package queuesim_test
+
+// FuzzParseDiscipline shakes the discipline and dispatcher spec parsers
+// with arbitrary strings (they must never panic and must round-trip
+// through String()/Canon()), then drives any parseable combination
+// through a short run twice, asserting the response-time vectors are
+// bit-identical — the fingerprint a sweep cache would key on.
+
+import (
+	"math"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/queuesim/dispatch"
+)
+
+func FuzzParseDiscipline(f *testing.F) {
+	f.Add("fifo", "jsq", uint64(1))
+	f.Add("lifo", "lwl", uint64(2))
+	f.Add("srpt", "rr", uint64(3))
+	f.Add("serpt(0.3)", "rnd(2)", uint64(4))
+	f.Add("ps", "rnd(1)", uint64(5))
+	f.Add("SERPT( 1.5 )", "RND( 3 )", uint64(6))
+	f.Add("serpt(nan)", "rnd(0)", uint64(7))
+	f.Add("fifo(", "rnd(", uint64(8))
+
+	f.Fuzz(func(t *testing.T, discSpec, dispSpec string, seed uint64) {
+		disc, derr := queuesim.ParseDiscipline(discSpec)
+		if derr == nil {
+			// Round-trip: the rendered form must parse back to the same
+			// discipline.
+			again, err := queuesim.ParseDiscipline(disc.String())
+			if err != nil {
+				t.Fatalf("round-trip of %q (from %q) failed: %v", disc.String(), discSpec, err)
+			}
+			if again != disc {
+				t.Fatalf("round-trip of %q: got %+v, want %+v", discSpec, again, disc)
+			}
+		}
+		dsp, perr := dispatch.Parse(dispSpec)
+		if perr == nil {
+			again, err := dispatch.Parse(dsp.Canon())
+			if err != nil {
+				t.Fatalf("round-trip of %q (from %q) failed: %v", dsp.Canon(), dispSpec, err)
+			}
+			if again.Canon() != dsp.Canon() {
+				t.Fatalf("round-trip of %q: got %q, want %q", dispSpec, again.Canon(), dsp.Canon())
+			}
+		}
+		if derr != nil {
+			return
+		}
+
+		p := queuesim.Params{
+			ArrivalRate:   5,
+			Service:       dist.NewExponential(8),
+			ServiceRate:   8,
+			SprintRate:    12,
+			Timeout:       0.1,
+			BudgetSeconds: 1,
+			RefillTime:    10,
+			NumQueries:    60,
+			Discipline:    disc,
+			Seed:          seed,
+		}
+		if disc.Kind == queuesim.DiscPS {
+			p.Timeout = -1
+			p.BudgetSeconds = 0
+		}
+		if perr == nil {
+			p.Servers = 4 // rnd(d) needs d <= servers to stay meaningful
+			p.Dispatch = dsp
+		}
+
+		first, err := queuesim.Run(p)
+		if err != nil {
+			t.Fatalf("parseable specs (%q, %q) rejected at run: %v", discSpec, dispSpec, err)
+		}
+		second, err := queuesim.Run(p)
+		if err != nil {
+			t.Fatalf("second run errored: %v", err)
+		}
+		if len(first.RTs) != len(second.RTs) {
+			t.Fatalf("run fingerprints differ: %d vs %d RTs", len(first.RTs), len(second.RTs))
+		}
+		for i := range first.RTs {
+			if math.Float64bits(first.RTs[i]) != math.Float64bits(second.RTs[i]) {
+				t.Fatalf("RTs[%d] not bit-identical across reruns: %x vs %x",
+					i, math.Float64bits(first.RTs[i]), math.Float64bits(second.RTs[i]))
+			}
+		}
+	})
+}

@@ -160,7 +160,10 @@ func (r *Runner) runMultiInto(p MultiParams, out *MultiResult) error {
 			sprintOn: sprintOn,
 		})
 	}
-	r.free = p.Slots
+	// Multi-class runs stay single-server FIFO: the paper's Section 5
+	// extension varies sprint clauses per class, not the ready-queue
+	// order.
+	r.configureDiscipline(Discipline{Kind: DiscFIFO}, 1, p.Slots, nil, p.Seed)
 	r.warmup = p.Warmup
 	total := p.NumQueries + p.Warmup
 	r.total = total

@@ -73,8 +73,22 @@ type Params struct {
 	// bucket by default; the paper's window-snap clause via
 	// sprint.RefillWindow).
 	Refill sprint.RefillMode
-	// Slots is the execution-engine concurrency (default 1).
+	// Slots is the execution-engine concurrency (default 1). With
+	// Servers > 1 every server gets its own Slots execution slots.
 	Slots int
+	// Discipline selects the ready-queue ordering (FIFO by default; see
+	// ParseDiscipline for the spec grammar). The PS discipline requires
+	// sprinting disabled.
+	Discipline Discipline
+	// Servers fans arrivals across that many independent queue+slot
+	// groups (default 1), each running the same Discipline but all
+	// sharing one sprint budget Accountant. Servers > 1 requires a
+	// Dispatch policy.
+	Servers int
+	// Dispatch routes each arrival to a server when Servers > 1 (see
+	// internal/queuesim/dispatch for the catalog). Ignored — and
+	// dropped by Canonical — when Servers <= 1.
+	Dispatch Dispatcher
 	// NumQueries measured per run (default 1000); Warmup excluded.
 	NumQueries int
 	Warmup     int
@@ -104,6 +118,13 @@ func (p Params) withDefaults() Params {
 	if p.ArrivalKind == "" {
 		p.ArrivalKind = dist.KindExponential
 	}
+	p.Discipline = p.Discipline.canonical()
+	if p.Servers == 0 {
+		p.Servers = 1
+	}
+	if p.Servers <= 1 {
+		p.Dispatch = nil
+	}
 	return p
 }
 
@@ -130,6 +151,18 @@ func (p Params) validate() error {
 	}
 	if p.Slots < 0 || p.NumQueries < 0 || p.Warmup < 0 {
 		return fmt.Errorf("queuesim: negative slots/queries/warmup")
+	}
+	if err := p.Discipline.validate(); err != nil {
+		return err
+	}
+	if p.Discipline.canonical().Kind == DiscPS && p.sprintingEnabled() {
+		return fmt.Errorf("queuesim: the ps discipline does not support sprinting (disable the timeout or budget)")
+	}
+	if p.Servers < 0 {
+		return fmt.Errorf("queuesim: negative servers %d", p.Servers)
+	}
+	if p.Servers > 1 && p.Dispatch == nil {
+		return fmt.Errorf("queuesim: servers=%d requires a dispatch policy", p.Servers)
 	}
 	return nil
 }
@@ -160,9 +193,12 @@ func (p Params) sprintingEnabled() bool {
 
 // Result is one run's output.
 type Result struct {
-	// RTs are measured response times in arrival order.
+	// RTs are measured response times in departure order (which is
+	// arrival order for a single-slot FIFO queue, but not for multiple
+	// slots or the reordering disciplines).
 	RTs []float64
-	// QueueingTimes are the corresponding waits before dispatch.
+	// QueueingTimes are the corresponding waits before first dispatch,
+	// paired index-by-index with RTs.
 	QueueingTimes []float64
 	// SprintedCount is how many measured queries sprinted.
 	SprintedCount int
@@ -177,6 +213,9 @@ type Result struct {
 	// simulator also flushes to the metrics registry.
 	Engages     int
 	Exhaustions int
+	// Preemptions counts mid-service displacements over the whole run —
+	// nonzero only under the preemptive disciplines (SRPT, SERPT).
+	Preemptions int
 	// MaxLive is the query pool's high-water mark: the largest number of
 	// queries simultaneously resident (queued + in service). It bounds
 	// the simulator's working set — departed queries are recycled, never
@@ -262,22 +301,28 @@ func repSeed(base uint64, i int) uint64 {
 type query struct {
 	arrival     float64
 	service     float64
+	pred        float64 // SERPT's noisy service-time prediction
 	start       float64
 	tau         float64 // progress at segment start
 	seg         float64 // segment start time
 	sprintStart float64
+	key         float64 // ready-heap ordering key (ordered disciplines)
 
 	departEv  sim.Handle
 	timeoutEv sim.Handle
 
 	id    int32
 	class int32
+	srv   int32 // server this query was dispatched to
+	tie   int32 // ready-heap tie-break
 
 	sprint   bool
 	pending  bool
 	warm     bool
 	running  bool
 	sprinted bool
+	started  bool // service has begun at least once (preemption-aware)
+	toFired  bool // sprint timeout has fired (re-arms pending on preemption)
 }
 
 // ringQ is a growable FIFO ring buffer of query-pool indices. It replaces
@@ -345,16 +390,27 @@ type Runner struct {
 	cbTimeou sim.CallbackID
 	cbDepart sim.CallbackID
 	cbBudget sim.CallbackID
+	cbPSDep  sim.CallbackID
 
 	rng  dist.RNG
 	acct sprint.Accountant
 
 	pool       []query
 	qfree      []int32
-	queue      ringQ
 	running    []int32
 	qlive      int
 	qHighWater int
+
+	// Per-server state, sized by sizeServers: the FIFO rings (unordered
+	// disciplines), ready heaps (ordered disciplines), free execution
+	// slots, resident-query counts, and PS's pending departure event
+	// and current sharing rate. All capacity persists across runs.
+	queues  []ringQ
+	heaps   []qHeap
+	srvFree []int32
+	srvLive []int32
+	psEv    []sim.Handle
+	psRate  []float64
 
 	// arrival-distribution cache: repeated runs with the same
 	// (ArrivalKind, ArrivalRate) and no explicit Arrival reuse one
@@ -363,19 +419,34 @@ type Runner struct {
 	arrRate   float64
 	arrCached dist.Dist
 
+	// SERPT prediction-noise cache: one boxed lognormal per CV, drawn
+	// from its own RNG stream so the main draw sequence (arrivals,
+	// services) is identical across disciplines.
+	predCV   float64
+	predDist dist.Dist
+	predRNG  dist.RNG
+
 	arr       dist.Dist
 	classes   []classCfg
 	tr        obs.QueryTracer
 	multi     bool
 	drawClass bool
 
-	free        int
+	disc     Discipline
+	ordered  bool // heap-ordered ready queue (lifo/srpt/serpt)
+	preempt  bool // preemptive discipline (srpt/serpt)
+	servers  int
+	slotsPer int
+	dispatch Dispatcher
+	dstate   DispatchState
+
 	warmup      int
 	total       int
 	budgetEv    sim.Handle
 	arrived     int
 	engages     int
 	exhaustions int
+	preempts    int
 	exhausted   bool
 
 	res  *Result
@@ -406,12 +477,12 @@ func (r *Runner) resetCore() {
 		r.cbDepart = r.eng.Register(r.depart)
 		//lint:ignore hotalloc same once-per-Runner registration as above
 		r.cbBudget = r.eng.Register(func(int32) { r.onBudgetEmpty() })
+		r.cbPSDep = r.eng.Register(r.psDepart)
 	} else {
 		r.eng.Reset()
 	}
 	r.pool = r.pool[:0]
 	r.qfree = r.qfree[:0]
-	r.queue.reset()
 	r.running = r.running[:0]
 	r.qlive = 0
 	r.qHighWater = 0
@@ -419,8 +490,58 @@ func (r *Runner) resetCore() {
 	r.arrived = 0
 	r.engages = 0
 	r.exhaustions = 0
+	r.preempts = 0
 	r.exhausted = false
 }
+
+// configureDiscipline installs the run's discipline, server count and
+// dispatcher, sizing (capacity-preserving) and resetting every per-server
+// buffer. slots is the per-server slot count; callers pass defaults-applied
+// values.
+func (r *Runner) configureDiscipline(d Discipline, servers, slots int, dispatch Dispatcher, seed uint64) {
+	r.disc = d
+	r.ordered = d.Kind == DiscLIFO || d.Kind == DiscSRPT || d.Kind == DiscSERPT
+	r.preempt = d.Kind == DiscSRPT || d.Kind == DiscSERPT
+	r.servers = servers
+	r.slotsPer = slots
+	r.dispatch = nil
+	if servers > 1 {
+		r.dispatch = dispatch
+	}
+	r.dstate = DispatchState{RNG: &r.rng}
+	for len(r.queues) < servers {
+		r.queues = append(r.queues, ringQ{})
+		r.heaps = append(r.heaps, qHeap{})
+		r.srvFree = append(r.srvFree, 0)
+		r.srvLive = append(r.srvLive, 0)
+		r.psEv = append(r.psEv, sim.Handle{})
+		r.psRate = append(r.psRate, 1)
+	}
+	for s := 0; s < servers; s++ {
+		r.queues[s].reset()
+		r.heaps[s].reset()
+		r.srvFree[s] = int32(slots)
+		r.srvLive[s] = 0
+		r.psEv[s] = sim.Handle{}
+		r.psRate[s] = 1
+	}
+	if d.Kind == DiscSERPT {
+		r.predRNG.Reseed(seed ^ serptSeedSalt)
+		cv := d.PredictCV
+		if cv <= 0 {
+			r.predDist = nil
+			//lint:ignore floateq the noise cache key must match the CV exactly; a near-match would silently change the prediction process
+		} else if r.predDist == nil || r.predCV != cv {
+			r.predDist = dist.LogNormalFromMeanCV(1, cv)
+			r.predCV = cv
+		}
+	}
+}
+
+// serptSeedSalt separates SERPT's prediction-noise stream from the run's
+// main RNG, so the arrival/service draw sequence is identical across
+// disciplines ("SERP" in ASCII, extended to 64 bits).
+const serptSeedSalt = 0x53455250_9e3779b9
 
 // arrivalFor resolves the interarrival distribution, reusing the cached
 // boxed value when the family and rate are unchanged from the last run.
@@ -475,7 +596,7 @@ func (r *Runner) RunInto(p Params, out *Result) error {
 		speedup:  p.speedup(),
 		sprintOn: p.sprintingEnabled(),
 	})
-	r.free = p.Slots
+	r.configureDiscipline(p.Discipline, p.Servers, p.Slots, p.Dispatch, p.Seed)
 	r.warmup = p.Warmup
 	r.total = total
 
@@ -486,6 +607,7 @@ func (r *Runner) RunInto(p Params, out *Result) error {
 	out.Duration = 0
 	out.Engages = 0
 	out.Exhaustions = 0
+	out.Preemptions = 0
 	out.MaxLive = 0
 	r.res = out
 	r.mres = nil
@@ -496,6 +618,7 @@ func (r *Runner) RunInto(p Params, out *Result) error {
 	fired := r.eng.RunAll()
 	out.Engages = r.engages
 	out.Exhaustions = r.exhaustions
+	out.Preemptions = r.preempts
 	out.MaxLive = r.qHighWater
 	flushMetrics(total, fired, r.engages, r.exhaustions, clk.Now().Sub(start).Seconds())
 	r.res = nil
@@ -569,39 +692,192 @@ func (r *Runner) arrive() {
 	q.arrival = now
 	q.service = r.classes[ci].service.Sample(&r.rng)
 	q.warm = id < r.warmup
+	s := int32(0)
+	if r.dispatch != nil {
+		picked := r.dispatch.Pick(r, &r.dstate)
+		if picked < 0 || picked >= r.servers {
+			panic("queuesim: dispatcher picked an out-of-range server")
+		}
+		s = int32(picked)
+	}
+	q.srv = s
+	if r.disc.Kind == DiscSERPT {
+		q.pred = q.service
+		if r.predDist != nil {
+			q.pred = q.service * r.predDist.Sample(&r.predRNG)
+		}
+	}
 	if r.tr != nil {
 		r.emit(obs.EvArrival, now, qi, q.service)
+		if r.dispatch != nil {
+			r.emit(obs.EvDispatch, now, qi, float64(s))
+		}
 	}
-	r.queue.push(qi)
+	r.srvLive[s]++
+	if r.disc.Kind != DiscPS {
+		r.enqueue(s, qi)
+	}
 	if r.classes[ci].sprintOn {
 		q.timeoutEv = r.eng.Schedule(now+r.classes[ci].timeout, r.cbTimeou, qi)
 	}
 	if r.arrived < r.total {
 		r.eng.After(r.arr.Sample(&r.rng), r.cbArrive, 0)
 	}
-	r.dispatch()
+	if r.disc.Kind == DiscPS {
+		r.psAdmit(s, qi, now)
+		return
+	}
+	if r.preempt && r.srvFree[s] == 0 {
+		r.maybePreempt(s, qi)
+	}
+	r.dispatchSrv(s)
 }
 
-func (r *Runner) dispatch() {
+// enqueue adds qi to server s's ready queue: the FIFO ring, or the index
+// heap keyed by the discipline's ordering (LIFO: most recent first; SRPT:
+// true service time; SERPT: noisy prediction).
+func (r *Runner) enqueue(s int32, qi int32) {
+	if !r.ordered {
+		r.queues[s].push(qi)
+		return
+	}
+	q := &r.pool[qi]
+	switch r.disc.Kind {
+	case DiscLIFO:
+		q.key = -q.arrival
+		q.tie = -q.id
+	case DiscSERPT:
+		q.key = q.pred
+		q.tie = q.id
+	default: // SRPT
+		q.key = q.service
+		q.tie = q.id
+	}
+	r.hpush(&r.heaps[s], qi)
+}
+
+// readyLen returns the number of queries waiting at server s.
+func (r *Runner) readyLen(s int32) int {
+	if r.ordered {
+		return len(r.heaps[s].idx)
+	}
+	return r.queues[s].len()
+}
+
+// readyPop removes and returns the next query at server s per the
+// discipline's order.
+func (r *Runner) readyPop(s int32) int32 {
+	if r.ordered {
+		return r.hpop(&r.heaps[s])
+	}
+	return r.queues[s].pop()
+}
+
+// dispatchSrv moves queries from server s's ready queue into its free
+// slots. First dispatch of a query starts its service clock; a resumed
+// query keeps its progress (tau) and its original start time.
+func (r *Runner) dispatchSrv(s int32) {
 	now := r.eng.Now()
-	for r.free > 0 && r.queue.len() > 0 {
-		qi := r.queue.pop()
-		r.free--
+	for r.srvFree[s] > 0 && r.readyLen(s) > 0 {
+		qi := r.readyPop(s)
+		r.srvFree[s]--
 		q := &r.pool[qi]
 		q.running = true
-		q.start = now
 		q.seg = now
-		q.tau = 0
+		fresh := !q.started
+		if fresh {
+			q.started = true
+			q.start = now
+			q.tau = 0
+		}
 		r.running = append(r.running, qi)
 		if r.tr != nil {
-			r.emit(obs.EvServiceStart, now, qi, now-q.arrival)
+			if fresh {
+				r.emit(obs.EvServiceStart, now, qi, now-q.arrival)
+			} else {
+				r.emit(obs.EvResume, now, qi, (1-q.tau)*q.service)
+			}
 		}
 		if q.pending && r.acct.CanSprint(now) {
 			r.engage(qi)
 		} else {
-			q.departEv = r.eng.Schedule(now+q.service, r.cbDepart, qi)
+			q.departEv = r.eng.Schedule(now+(1-q.tau)*q.service, r.cbDepart, qi)
 		}
 	}
+}
+
+// liveKey returns q's current ready-queue key: remaining true work for
+// SRPT, remaining predicted work for SERPT, progress rolled to now.
+func (r *Runner) liveKey(q *query, now float64) float64 {
+	rem := 1 - r.progress(q, now)
+	if r.disc.Kind == DiscSERPT {
+		return rem * q.pred
+	}
+	return rem * q.service
+}
+
+// maybePreempt displaces the running query at server s with the most
+// remaining work if the newly queued query newQi has strictly less —
+// SRPT/SERPT's preemption rule. Ties never preempt (no churn).
+func (r *Runner) maybePreempt(s int32, newQi int32) {
+	now := r.eng.Now()
+	worst := r.pool[newQi].key
+	victim := int32(-1)
+	for _, ri := range r.running {
+		q := &r.pool[ri]
+		if q.srv != s {
+			continue
+		}
+		if rem := r.liveKey(q, now); rem > worst {
+			worst = rem
+			victim = ri
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	r.preemptQuery(victim, worst, now)
+}
+
+// preemptQuery suspends a running query mid-service: progress is rolled
+// forward, any active sprint is stopped (its seconds banked), the pending
+// departure is cancelled and the query re-enters the ready heap keyed by
+// its remaining work. A query whose timeout already fired re-arms pending
+// so it re-engages on resume if budget allows.
+func (r *Runner) preemptQuery(qi int32, key float64, now float64) {
+	q := &r.pool[qi]
+	q.tau = r.progress(q, now)
+	q.seg = now
+	if q.sprint {
+		r.acct.StopSprint(now)
+		q.sprint = false
+		r.res.SprintSeconds += now - q.sprintStart
+		if r.tr != nil {
+			r.emit(obs.EvSprintStop, now, qi, now-q.sprintStart)
+		}
+		r.replanBudget()
+	}
+	r.eng.Cancel(q.departEv)
+	q.departEv = sim.Handle{}
+	if r.tr != nil {
+		r.emit(obs.EvPreempt, now, qi, (1-q.tau)*q.service)
+	}
+	q.running = false
+	if q.toFired && r.classes[q.class].sprintOn {
+		q.pending = true
+	}
+	for i, ri := range r.running {
+		if ri == qi {
+			r.running = append(r.running[:i], r.running[i+1:]...)
+			break
+		}
+	}
+	r.preempts++
+	s := q.srv
+	r.srvFree[s]++
+	q.key = key
+	q.tie = q.id
+	r.hpush(&r.heaps[s], qi)
 }
 
 // progress rolls q's completed-work fraction forward to now.
@@ -617,6 +893,7 @@ func (r *Runner) progress(q *query, now float64) float64 {
 func (r *Runner) onTimeout(qi int32) {
 	now := r.eng.Now()
 	q := &r.pool[qi]
+	q.toFired = true
 	if r.tr != nil {
 		r.emit(obs.EvTimeout, now, qi, r.classes[q.class].timeout)
 	}
@@ -735,9 +1012,11 @@ func (r *Runner) depart(qi int32) {
 			r.res.SprintedCount++
 		}
 	}
-	r.free++
+	s := q.srv
+	r.srvFree[s]++
+	r.srvLive[s]--
 	r.freeQuery(qi)
-	r.dispatch()
+	r.dispatchSrv(s)
 }
 
 // emit sends one lifecycle event; callers guard on r.tr != nil.

@@ -1,0 +1,7 @@
+//go:build race
+
+package queuesim_test
+
+// raceEnabled mirrors the in-package gate for the external test package;
+// see race_on_test.go.
+const raceEnabled = true

@@ -65,7 +65,9 @@ func Fingerprint(p queuesim.Params, reps int) (Key, error) {
 		return Key{}, fmt.Errorf("sweep: service distribution required")
 	}
 	b := make([]byte, 0, 256)
-	b = appendString(b, "mdsprint/sweep/v1")
+	// v2 added the discipline, server count and dispatcher fields; the
+	// version bump retires every v1 key rather than risking a stale hit.
+	b = appendString(b, "mdsprint/sweep/v2")
 	b = appendFloat(b, c.ArrivalRate)
 	var err error
 	if b, err = dist.AppendCanon(b, arrival); err != nil {
@@ -84,6 +86,18 @@ func Fingerprint(p queuesim.Params, reps int) (Key, error) {
 	b = appendUint(b, uint64(c.NumQueries))
 	b = appendUint(b, uint64(c.Warmup))
 	b = appendUint(b, c.Seed)
+	// Discipline, servers and dispatcher. Canonical has already applied
+	// the defaults (FIFO, 1 server, nil dispatcher below 2 servers), so
+	// the zero spelling and the explicit default hash identically; a
+	// dispatcher is identified by its canonical spec string.
+	b = appendString(b, string(c.Discipline.Kind))
+	b = appendFloat(b, c.Discipline.PredictCV)
+	b = appendUint(b, uint64(c.Servers))
+	dispatchCanon := ""
+	if c.Dispatch != nil {
+		dispatchCanon = c.Dispatch.Canon()
+	}
+	b = appendString(b, dispatchCanon)
 	b = appendUint(b, uint64(reps))
 
 	h := fnv.New128a()
