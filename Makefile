@@ -79,7 +79,9 @@ cover:
 	check ./internal/online 90; \
 	check ./internal/obs 90; \
 	check ./internal/trace 90; \
-	check ./internal/lint 90
+	check ./internal/lint 90; \
+	check ./internal/httpharness 85; \
+	check ./internal/server 80
 
 # The experiments suite runs ~2 minutes without the race detector; the
 # detector's 5-10x slowdown overruns go test's default 10m binary
@@ -99,6 +101,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRunDeterminism$$' -fuzztime 10s ./internal/queuesim
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDiscipline$$' -fuzztime 10s ./internal/queuesim
 	$(GO) test -run '^$$' -fuzz '^FuzzSuppressionParse$$' -fuzztime 10s ./internal/lint
+
+# soak runs the sprintd daemon's end-to-end robustness scenario under
+# the race detector: concurrent tenants through chaos transports, a
+# scripted outage and a scripted panic, an overload burst that must
+# shed, a hot reload mid-traffic, a clean drain and a kill-and-restore
+# with bit-identical ledger continuation. -count=1 defeats the cache —
+# a soak that didn't run proves nothing.
+.PHONY: soak
+soak:
+	$(GO) test -race -count=1 -run 'TestDaemonSoak' -v -timeout 5m ./internal/server/
 
 # chaos replays every built-in fault-injection scenario against the
 # graceful-degradation controller and fails if any scripted expectation
@@ -121,7 +133,7 @@ bench-obs:
 # here without it; -count=1 defeats the test cache.
 .PHONY: alloc-check
 alloc-check:
-	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/queuesim ./internal/sim
+	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/queuesim ./internal/sim ./internal/server
 
 # bench-sim measures the pooled simulator hot path against the retired
 # heap-and-closure reference engine (Run, RunReps) plus the calibration
@@ -138,6 +150,15 @@ bench-sim:
 .PHONY: bench-sweep
 bench-sweep:
 	$(GO) test -run '^$$' -bench 'Sweep(Serial|Sharded|Cached)' -benchmem ./internal/sweep/
+
+# bench-serve measures the sprintd serving path: the in-process
+# decision/observation hot path (which must stay at 0 allocs/op — see
+# alloc-check), the full HTTP round trip, and the shed path (rejection
+# must stay cheaper than service, or overload amplifies). Baseline in
+# BENCH_serve.json.
+.PHONY: bench-serve
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem ./internal/server/
 
 .PHONY: bench
 bench:

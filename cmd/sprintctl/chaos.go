@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mdsprint/internal/fault"
+	"mdsprint/internal/lifecycle"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/online"
 	"mdsprint/internal/trace"
@@ -70,33 +71,43 @@ func cmdChaos(ctx context.Context, args []string) error {
 		return fmt.Errorf("chaos: need -scenario <name>, -all or -list")
 	}
 
-	// Flush partial results even on an interrupt: the deferred writers
-	// run whether the loop finishes or the signal context breaks it.
+	// Flush partial results even on an interrupt: the FlushSet runs its
+	// steps exactly once whether the loop finishes or the signal context
+	// breaks it.
 	var reports []chaosReport
 	ledger := online.NewDecisionLedger()
-	defer func() {
-		if *decisionsOut != "" && ledger.Len() > 0 {
-			if err := trace.SaveDecisions(*decisionsOut, ledger.Records()); err != nil {
-				logg.Errorf("chaos: writing %s: %v", *decisionsOut, err)
-			} else {
-				logg.Infof("chaos: %d decision record(s) written to %s", ledger.Len(), *decisionsOut)
-			}
+	flush := &lifecycle.FlushSet{Errorf: func(format string, args ...any) { logg.Errorf(format, args...) }}
+	flush.Add("decisions", func() error {
+		if *decisionsOut == "" || ledger.Len() == 0 {
+			return nil
 		}
-		if *out != "" && len(reports) > 0 {
-			if err := writeChaosReports(*out, reports); err != nil {
-				logg.Errorf("chaos: writing %s: %v", *out, err)
-			} else {
-				logg.Infof("chaos: %d replay timeline(s) written to %s", len(reports), *out)
-			}
+		if err := trace.SaveDecisions(*decisionsOut, ledger.Records()); err != nil {
+			return fmt.Errorf("writing %s: %w", *decisionsOut, err)
 		}
-		if *metricsOut != "" {
-			if err := writeMetricsSnapshot(*metricsOut); err != nil {
-				logg.Errorf("chaos: writing %s: %v", *metricsOut, err)
-			} else {
-				logg.Infof("chaos: metrics snapshot written to %s", *metricsOut)
-			}
+		logg.Infof("chaos: %d decision record(s) written to %s", ledger.Len(), *decisionsOut)
+		return nil
+	})
+	flush.Add("reports", func() error {
+		if *out == "" || len(reports) == 0 {
+			return nil
 		}
-	}()
+		if err := writeChaosReports(*out, reports); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		logg.Infof("chaos: %d replay timeline(s) written to %s", len(reports), *out)
+		return nil
+	})
+	flush.Add("metrics", func() error {
+		if *metricsOut == "" {
+			return nil
+		}
+		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+			return fmt.Errorf("writing %s: %w", *metricsOut, err)
+		}
+		logg.Infof("chaos: metrics snapshot written to %s", *metricsOut)
+		return nil
+	})
+	defer flush.Run()
 
 	var failed []string
 	for _, sc := range scenarios {

@@ -24,6 +24,14 @@
 //	sprintctl pipeline [-decisions-out decisions.jsonl]
 //	    run profile → calibrate → sweep → explore → online end to end
 //	    at a small scale (pair with -trace for a full span tree)
+//	sprintctl sprintd -addr :8600 -tenants search,ads -snapshot state.json
+//	    run the multi-tenant policy-serving daemon: admission control,
+//	    bulkhead isolation, periodic crash-safety snapshots, graceful
+//	    SIGTERM drain (monitor it with 'sprintctl monitor -addr ...')
+//	sprintctl decide -addr localhost:8600 -tenant search -rate 0.6
+//	    ask a running sprintd for one decision, retrying through sheds
+//	sprintctl load -addr localhost:8600 -workers 4 -duration 5s
+//	    drive closed-loop load at a sprintd (add -drop/-err for chaos)
 //
 // Profiling writes a JSON dataset; predict/explore train the hybrid model
 // from it on the fly.
@@ -50,10 +58,8 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
 	"runtime/debug"
 	"strings"
-	"syscall"
 	"time"
 
 	"mdsprint/internal/calib"
@@ -63,6 +69,7 @@ import (
 	"mdsprint/internal/experiments"
 	"mdsprint/internal/explore"
 	"mdsprint/internal/forest"
+	"mdsprint/internal/lifecycle"
 	"mdsprint/internal/mech"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
@@ -145,8 +152,8 @@ func run(args []string) int {
 
 	// A clean SIGINT/SIGTERM shutdown: long-running commands watch this
 	// context and flush whatever metrics and trace output they have
-	// accumulated before exiting.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// accumulated before exiting (see internal/lifecycle).
+	ctx, stop := lifecycle.SignalContext(context.Background())
 	defer stop()
 
 	if *chaosName != "" {
@@ -186,6 +193,12 @@ func run(args []string) int {
 		err = cmdMonitor(ctx, rest[1:])
 	case "pipeline":
 		err = cmdPipeline(ctx, rest[1:])
+	case "sprintd":
+		err = cmdSprintd(ctx, rest[1:])
+	case "decide":
+		err = cmdDecide(ctx, rest[1:])
+	case "load":
+		err = cmdLoad(ctx, rest[1:])
 	case "version":
 		fmt.Println(versionString())
 	case "help", "-h", "--help":
@@ -230,7 +243,7 @@ func startDebugServer(addr string) (*obs.DebugServer, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|disciplines|colocate|chaos|monitor|pipeline> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|disciplines|colocate|chaos|monitor|pipeline|sprintd|decide|load> [flags]")
 	fmt.Fprintln(os.Stderr, "       sprintctl -chaos <scenario|all>")
 	fmt.Fprintln(os.Stderr, "       sprintctl -version")
 	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")

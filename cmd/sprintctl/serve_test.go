@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mdsprint/internal/obs"
+	"mdsprint/internal/server"
+)
+
+// startSprintd boots the daemon via the real cmdSprintd on an ephemeral
+// port and returns its address plus a shutdown func that triggers the
+// graceful drain path and waits for exit.
+func startSprintd(t *testing.T, extraArgs ...string) (addr string, shutdown func()) {
+	t.Helper()
+	if logg == nil {
+		logg = obs.NewLogger(os.Stderr, obs.LevelError)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bound := make(chan string, 1)
+	sprintdBound = func(a string) { bound <- a }
+	t.Cleanup(func() { sprintdBound = nil })
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- cmdSprintd(ctx, args) }()
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("sprintd exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("sprintd never bound its listener")
+	}
+	var once bool
+	return addr, func() {
+		if once {
+			return
+		}
+		once = true
+		cancel() // stands in for SIGTERM: same context, same drain path
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("sprintd drain: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("sprintd did not drain")
+		}
+	}
+}
+
+// TestSprintdServeDecideLoadDrain runs the full CLI story: boot the
+// daemon, take one decision through cmdDecide, drive cmdLoad through
+// the chaos transport, then drain on the signal context and confirm
+// the final snapshot landed.
+func TestSprintdServeDecideLoadDrain(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.json")
+	addr, shutdown := startSprintd(t,
+		"-tenants", "search,ads",
+		"-snapshot", snap,
+		"-snapshot-every", "50ms",
+	)
+	defer shutdown()
+
+	if err := cmdDecide(context.Background(), []string{
+		"-addr", addr, "-tenant", "search", "-rate", "0.6", "-observe", "8",
+	}); err != nil {
+		t.Fatalf("decide against live sprintd: %v", err)
+	}
+	if err := cmdLoad(context.Background(), []string{
+		"-addr", addr, "-tenants", "search,ads", "-workers", "2",
+		"-duration", "300ms", "-drop", "0.1", "-err", "0.1", "-seed", "5",
+	}); err != nil {
+		t.Fatalf("load against live sprintd: %v", err)
+	}
+
+	shutdown()
+	got, ok, err := server.ReadSnapshot(snap)
+	if err != nil || !ok {
+		t.Fatalf("snapshot after drain: ok=%v err=%v", ok, err)
+	}
+	for _, name := range []string{"search", "ads"} {
+		ts, ok := got.Tenants[name]
+		if !ok {
+			t.Fatalf("snapshot is missing tenant %s", name)
+		}
+		if ts.Ledger.Seq == 0 {
+			t.Fatalf("tenant %s drained with an empty ledger; traffic never landed", name)
+		}
+	}
+}
+
+// TestSprintdRejectsBadConfig checks config-file validation fails fast.
+func TestSprintdRejectsBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSprintd(context.Background(), []string{"-config", bad}); err == nil {
+		t.Fatal("corrupt config accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSprintd(context.Background(), []string{"-config", empty}); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := loadTenantConfigs("", " , "); err == nil {
+		t.Fatal("blank -tenants accepted")
+	}
+}
+
+// TestMonitorAgainstLiveSprintd is the golden test for the remote
+// health view against a live in-process daemon: quiet single line
+// while healthy, then — after a scripted panic demotes one tenant —
+// exactly the tenant-prefixed problem report.
+func TestMonitorAgainstLiveSprintd(t *testing.T) {
+	addr, shutdown := startSprintd(t, "-tenants", "alpha,bravo")
+	defer shutdown()
+	ctx := context.Background()
+
+	var out strings.Builder
+	if err := monitorRemote(ctx, &out, addr, 0, 0); err != nil {
+		t.Fatalf("monitor against healthy sprintd: %v", err)
+	}
+	if want := addr + ": healthy\n"; out.String() != want {
+		t.Fatalf("healthy monitor output %q, want %q", out.String(), want)
+	}
+
+	// Script a panic on bravo's primary model and take one decision:
+	// the bulkhead converts the panic into a demotion, which the next
+	// scrape must report — and only for bravo.
+	c := &server.Client{BaseURL: "http://" + addr}
+	if err := c.Fault(ctx, server.FaultRequest{Tenant: "bravo", Mode: "panic", Value: 1}); err != nil {
+		t.Fatalf("scripting bravo: %v", err)
+	}
+	if _, err := c.Decide(ctx, "bravo", 0.5); err != nil {
+		t.Fatalf("decide through panic: %v", err)
+	}
+	if err := c.Fault(ctx, server.FaultRequest{Tenant: "bravo", Mode: "clear"}); err != nil {
+		t.Fatalf("clearing bravo: %v", err)
+	}
+
+	out.Reset()
+	if err := monitorRemote(ctx, &out, addr, 0, 0); err != nil {
+		t.Fatalf("monitor against degraded sprintd: %v", err)
+	}
+	want := fmt.Sprintf("%s: 2 problem(s)\n", addr) +
+		fmt.Sprintf("  %-8s %-18s %s\n", "CRITICAL", "bravo/tier-degraded",
+			"fallback chain serving from the noml tier (level 1)") +
+		fmt.Sprintf("  %-8s %-18s %s\n", "WARNING", "bravo/demotions",
+			"1 fallback demotion(s), 0 promotion(s)")
+	if out.String() != want {
+		t.Fatalf("degraded monitor output:\n%q\nwant:\n%q", out.String(), want)
+	}
+
+	// -watch with -count polls exactly count times.
+	out.Reset()
+	if err := monitorRemote(ctx, &out, addr, time.Millisecond, 3); err != nil {
+		t.Fatalf("monitor -watch: %v", err)
+	}
+	if got := strings.Count(out.String(), "problem(s)"); got != 3 {
+		t.Fatalf("-watch -count 3 produced %d reports, want 3", got)
+	}
+}

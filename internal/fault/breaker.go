@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"sync"
 
 	"mdsprint/internal/obs"
@@ -172,4 +173,46 @@ func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// BreakerSnapshot is the breaker's full mutable state — position plus
+// the counters that drive its next transition — so a restored breaker
+// trips, cools down and closes on exactly the same call sequence as one
+// that was never restarted.
+type BreakerSnapshot struct {
+	State    int `json:"state"`
+	Failures int `json:"failures"`
+	Denied   int `json:"denied"`
+	ProbeOK  int `json:"probe_ok"`
+}
+
+// Snapshot exports the breaker's state for persistence.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:    int(b.state),
+		Failures: b.failures,
+		Denied:   b.denied,
+		ProbeOK:  b.probeOK,
+	}
+}
+
+// Restore overwrites the breaker's state from a snapshot; the breaker
+// is unchanged on error.
+func (b *Breaker) Restore(st BreakerSnapshot) error {
+	if st.State < int(Closed) || st.State > int(HalfOpen) {
+		return fmt.Errorf("fault: breaker state %d out of range", st.State)
+	}
+	if st.Failures < 0 || st.Denied < 0 || st.ProbeOK < 0 {
+		return fmt.Errorf("fault: breaker counters must be non-negative")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerState(st.State)
+	b.failures = st.Failures
+	b.denied = st.Denied
+	b.probeOK = st.ProbeOK
+	b.stateGauge.Set(float64(b.state))
+	return nil
 }

@@ -157,38 +157,36 @@ func RunCtx(ctx context.Context, cfg GeneratorConfig) ([]QueryResponse, error) {
 	return responses, nil
 }
 
-// sendQuery performs one query with per-attempt timeouts and bounded
-// jittered retries on transport errors and 5xx responses.
+// sendQuery performs one query through the shared RetryPlan: per-attempt
+// timeouts, bounded jittered retries on transport errors and 5xx.
 func sendQuery(ctx context.Context, cfg GeneratorConfig, m generatorMetrics, i int, service float64, jitterSeed uint64) (QueryResponse, error) {
 	body, err := json.Marshal(QueryRequest{ServiceSeconds: service})
 	if err != nil {
 		return QueryResponse{}, err
 	}
-	jitter := dist.NewRNG(jitterSeed)
-	backoff := cfg.RetryBackoff
-	var lastErr error
-	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			m.retries.Inc()
-			// Exponential backoff with +-50% jitter so retry storms from
-			// many clients decorrelate.
-			d := time.Duration((0.5 + jitter.Float64()) * float64(backoff))
-			backoff *= 2
-			if !sleepCtx(ctx, d) {
-				return QueryResponse{}, ctx.Err()
-			}
-		}
-		resp, retryable, aerr := attemptQuery(ctx, cfg, i, body)
-		if aerr == nil {
-			return resp, nil
-		}
-		lastErr = aerr
-		if !retryable {
-			break
-		}
+	plan := RetryPlan{
+		MaxRetries: cfg.MaxRetries,
+		Backoff:    cfg.RetryBackoff,
+		Seed:       jitterSeed,
+		OnRetry:    func(int) { m.retries.Inc() },
 	}
-	m.failures.Inc()
-	return QueryResponse{}, lastErr
+	var resp QueryResponse
+	err = plan.Do(ctx, func(int) Outcome {
+		r, retryable, aerr := attemptQuery(ctx, cfg, i, body)
+		if aerr == nil {
+			resp = r
+		}
+		return Outcome{Err: aerr, Retryable: retryable}
+	})
+	if err != nil {
+		// A ctx expiring mid-backoff is the caller abandoning the query,
+		// not the query failing — only genuine exhaustion counts.
+		if err != ctx.Err() {
+			m.failures.Inc()
+		}
+		return QueryResponse{}, err
+	}
+	return resp, nil
 }
 
 // attemptQuery is a single HTTP attempt. retryable reports whether a

@@ -1,0 +1,69 @@
+package httpharness
+
+import (
+	"context"
+	"time"
+
+	"mdsprint/internal/dist"
+)
+
+// RetryPlan is the harness's shared retry discipline: a bounded number
+// of re-attempts with exponential backoff and ±50% jitter, seeded at
+// plan time so one replay's backoff schedule is reproducible. The
+// generator's resilient query path and the sprintd serving client both
+// run on it, so "how a client behaves under faults" is defined exactly
+// once.
+type RetryPlan struct {
+	// MaxRetries is how many re-attempts follow the first try; 0 means
+	// a single attempt with no retry.
+	MaxRetries int
+	// Backoff is the first retry's base delay, doubled per attempt and
+	// jittered ±50% so retry storms from many clients decorrelate.
+	Backoff time.Duration
+	// Seed drives the jitter RNG.
+	Seed uint64
+	// OnRetry, when set, observes each re-attempt (1-based) before its
+	// backoff wait — the metrics hook.
+	OnRetry func(attempt int)
+}
+
+// Outcome is one attempt's verdict: its error (nil means success and
+// ends the plan), whether another attempt could help, and a lower
+// bound on the next backoff wait (a server's Retry-After hint; zero
+// means the jittered schedule alone decides).
+type Outcome struct {
+	Err       error
+	Retryable bool
+	MinDelay  time.Duration
+}
+
+// Do runs attempt (passed the 0-based attempt number) until it
+// succeeds, fails terminally, exhausts the retry budget, or ctx
+// expires. A ctx expiring mid-backoff returns ctx.Err() itself —
+// callers can distinguish "the caller gave up" from "the attempts ran
+// out" by comparing against ctx.Err().
+func (p RetryPlan) Do(ctx context.Context, attempt func(n int) Outcome) error {
+	jitter := dist.NewRNG(p.Seed)
+	backoff := p.Backoff
+	var last Outcome
+	for n := 0; n <= p.MaxRetries; n++ {
+		if n > 0 {
+			if p.OnRetry != nil {
+				p.OnRetry(n)
+			}
+			d := time.Duration((0.5 + jitter.Float64()) * float64(backoff))
+			backoff *= 2
+			if d < last.MinDelay {
+				d = last.MinDelay
+			}
+			if !sleepCtx(ctx, d) {
+				return ctx.Err()
+			}
+		}
+		last = attempt(n)
+		if last.Err == nil || !last.Retryable {
+			return last.Err
+		}
+	}
+	return last.Err
+}

@@ -1,0 +1,178 @@
+package httpharness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
+)
+
+// TestRetryPlanZeroRetries pins the single-attempt contract: MaxRetries
+// 0 means exactly one try, no backoff wait, no OnRetry callback, and
+// the attempt's error surfaces unchanged.
+func TestRetryPlanZeroRetries(t *testing.T) {
+	boom := errors.New("boom")
+	calls, retries := 0, 0
+	err := RetryPlan{MaxRetries: 0, Backoff: time.Hour, OnRetry: func(int) { retries++ }}.
+		Do(context.Background(), func(n int) Outcome {
+			calls++
+			if n != 0 {
+				t.Fatalf("attempt number %d, want 0", n)
+			}
+			return Outcome{Err: boom, Retryable: true}
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 1 || retries != 0 {
+		t.Fatalf("calls=%d retries=%d, want 1 attempt and 0 retry callbacks", calls, retries)
+	}
+}
+
+// TestRetryPlanStopsOnTerminalFailure: a non-retryable outcome ends the
+// plan immediately even with budget left.
+func TestRetryPlanStopsOnTerminalFailure(t *testing.T) {
+	calls := 0
+	err := RetryPlan{MaxRetries: 5, Backoff: time.Nanosecond}.
+		Do(context.Background(), func(int) Outcome {
+			calls++
+			return Outcome{Err: fmt.Errorf("HTTP 400"), Retryable: false}
+		})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want terminal error after 1 attempt", err, calls)
+	}
+}
+
+// TestRetryPlanSucceedsAfterRetries: retryable failures burn budget
+// until an attempt succeeds; OnRetry sees each re-attempt.
+func TestRetryPlanSucceedsAfterRetries(t *testing.T) {
+	calls, retries := 0, 0
+	err := RetryPlan{MaxRetries: 3, Backoff: time.Nanosecond, OnRetry: func(int) { retries++ }}.
+		Do(context.Background(), func(n int) Outcome {
+			calls++
+			if n < 2 {
+				return Outcome{Err: fmt.Errorf("HTTP 503"), Retryable: true}
+			}
+			return Outcome{}
+		})
+	if err != nil {
+		t.Fatalf("err = %v, want success on third attempt", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 attempts and 2 retry callbacks", calls, retries)
+	}
+}
+
+// TestRetryPlanDeadlineMidBackoff pins the abandonment path: when the
+// context expires inside a backoff wait, Do returns ctx.Err() itself
+// (not the last attempt's error) without running another attempt.
+func TestRetryPlanDeadlineMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := RetryPlan{MaxRetries: 10, Backoff: time.Hour}.
+		Do(ctx, func(int) Outcome {
+			calls++
+			return Outcome{Err: fmt.Errorf("HTTP 500"), Retryable: true}
+		})
+	if err != ctx.Err() {
+		t.Fatalf("err = %v, want ctx.Err() %v", err, ctx.Err())
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want exactly the pre-deadline attempt", calls)
+	}
+}
+
+// TestRetryPlanHonorsMinDelay: an attempt's MinDelay (a server's
+// Retry-After) floors the next wait even when the jittered backoff
+// would retry sooner.
+func TestRetryPlanHonorsMinDelay(t *testing.T) {
+	const floor = 60 * time.Millisecond
+	start := time.Now()
+	calls := 0
+	err := RetryPlan{MaxRetries: 1, Backoff: time.Nanosecond}.
+		Do(context.Background(), func(int) Outcome {
+			calls++
+			if calls == 1 {
+				return Outcome{Err: fmt.Errorf("HTTP 429"), Retryable: true, MinDelay: floor}
+			}
+			return Outcome{}
+		})
+	if err != nil {
+		t.Fatalf("err = %v, want success", err)
+	}
+	if elapsed := time.Since(start); elapsed < floor {
+		t.Fatalf("retried after %v, want at least the %v Retry-After floor", elapsed, floor)
+	}
+}
+
+// TestGeneratorAbandonedBackoffNotCountedFailed: a replay canceled
+// mid-backoff reports the context error and does NOT count the query
+// as failed — abandonment is the caller's choice, not the server's
+// fault.
+func TestGeneratorAbandonedBackoffNotCountedFailed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := RunCtx(ctx, GeneratorConfig{
+		URL:          srv.URL,
+		Interarrival: dist.Deterministic{Value: 0.001},
+		Service:      dist.Deterministic{Value: 0.001},
+		NumQueries:   1,
+		Seed:         5,
+		MaxRetries:   20,
+		RetryBackoff: time.Hour,
+		Metrics:      reg,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if v, _ := reg.Value("mdsprint_harness_failures_total"); v != 0 {
+		t.Fatalf("failures counter = %v, want 0 for an abandoned backoff", v)
+	}
+}
+
+// TestGeneratorSemaphoreExhaustionCancel: with one in-flight slot and a
+// stalled server, queued queries blocked on the semaphore must unblock
+// on cancellation instead of waiting for the slot.
+func TestGeneratorSemaphoreExhaustionCancel(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	// Unblock the stalled handler before srv.Close waits on it (defers
+	// run last-in first-out).
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunCtx(ctx, GeneratorConfig{
+		URL:          srv.URL,
+		Interarrival: dist.Deterministic{Value: 0.001},
+		Service:      dist.Deterministic{Value: 0.001},
+		NumQueries:   4,
+		Seed:         9,
+		MaxInFlight:  1,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("semaphore waiters took %v to unblock after cancellation", elapsed)
+	}
+}

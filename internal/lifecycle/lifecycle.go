@@ -1,0 +1,91 @@
+// Package lifecycle is the process-lifecycle plumbing shared by
+// sprintctl's subcommands and the sprintd daemon: a signal-bound
+// context for clean SIGINT/SIGTERM shutdown, and a once-only ordered
+// FlushSet for the "whatever happens, write out what we have" work
+// that used to be inlined per command.
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM (and
+// when parent is canceled). Long-running commands watch it and flush
+// partial results before exiting; the returned stop releases the
+// signal registration.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// flushStep is one registered shutdown action.
+type flushStep struct {
+	name string
+	fn   func() error
+}
+
+// FlushSet collects named best-effort shutdown steps and runs each
+// exactly once, in registration order, whether the process exits
+// normally or on a signal. A failing step is reported through Errorf
+// and never stops the steps after it — flushing is best effort by
+// definition. Safe for concurrent use.
+type FlushSet struct {
+	// Errorf reports a failed step (log sink); nil discards.
+	Errorf func(format string, args ...any)
+
+	mu    sync.Mutex
+	steps []flushStep
+	ran   bool
+}
+
+// Add registers a shutdown step. Steps added after Run has fired are
+// executed immediately — a late registration must not be silently
+// dropped.
+func (f *FlushSet) Add(name string, fn func() error) {
+	f.mu.Lock()
+	if f.ran {
+		f.mu.Unlock()
+		f.runStep(flushStep{name: name, fn: fn})
+		return
+	}
+	f.steps = append(f.steps, flushStep{name: name, fn: fn})
+	f.mu.Unlock()
+}
+
+// Run executes every registered step once, in registration order.
+// Subsequent calls are no-ops, so it is safe to both defer Run and
+// call it from a signal path.
+func (f *FlushSet) Run() {
+	f.mu.Lock()
+	if f.ran {
+		f.mu.Unlock()
+		return
+	}
+	f.ran = true
+	steps := f.steps
+	f.steps = nil
+	f.mu.Unlock()
+	for _, s := range steps {
+		f.runStep(s)
+	}
+}
+
+// runStep executes one step, converting a panic into a reported error
+// so one misbehaving flusher cannot rob the steps after it.
+func (f *FlushSet) runStep(s flushStep) {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return s.fn()
+	}()
+	if err != nil && f.Errorf != nil {
+		f.Errorf("flush %s: %v", s.name, err)
+	}
+}

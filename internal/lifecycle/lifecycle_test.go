@@ -1,0 +1,55 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestFlushSetRunsOnceInOrder(t *testing.T) {
+	var got []string
+	fs := &FlushSet{}
+	fs.Add("a", func() error { got = append(got, "a"); return nil })
+	fs.Add("b", func() error { got = append(got, "b"); return nil })
+	fs.Run()
+	fs.Run() // second run must be a no-op
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("steps ran %v, want [a b] exactly once", got)
+	}
+}
+
+func TestFlushSetErrorDoesNotStopLaterSteps(t *testing.T) {
+	var logged []string
+	ran := false
+	fs := &FlushSet{Errorf: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}}
+	fs.Add("bad", func() error { return fmt.Errorf("disk full") })
+	fs.Add("panicky", func() error { panic("boom") })
+	fs.Add("good", func() error { ran = true; return nil })
+	fs.Run()
+	if !ran {
+		t.Fatal("step after a failing one did not run")
+	}
+	if len(logged) != 2 {
+		t.Fatalf("logged %v, want the error and the recovered panic", logged)
+	}
+}
+
+func TestFlushSetLateAddRunsImmediately(t *testing.T) {
+	fs := &FlushSet{}
+	fs.Run()
+	ran := false
+	fs.Add("late", func() error { ran = true; return nil })
+	if !ran {
+		t.Fatal("step added after Run was dropped")
+	}
+}
+
+func TestSignalContextCancelsWithParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := SignalContext(parent)
+	defer stop()
+	cancel()
+	<-ctx.Done()
+}

@@ -85,6 +85,10 @@ func DefaultConfig() *Config {
 			"internal/queuesim",
 			"internal/online",
 			"internal/fault",
+			// The serving daemon: tenant workers and the snapshot loop
+			// all hang off the server context. (Not a deterministic
+			// package — sprintd lives on the wall clock.)
+			"internal/server",
 		},
 		// The allocation-free hot path's slab-resident types: queries in
 		// the queue simulator's pool, event slots in the pooled engine.

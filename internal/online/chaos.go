@@ -83,12 +83,13 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	return o
 }
 
-// chaosRT is the ground-truth response-time surface of the synthetic
-// queue: M/M/1-shaped, with a timeout-dependent sprint boost on the
-// effective service rate that peaks at the sweet spot (x·e^(1−x) is 1
-// at x=1). Saturated arrivals clamp to the heavy-traffic response time
-// so the surface stays finite under burst storms.
-func chaosRT(mu, gain, sweet, lambda, to float64) float64 {
+// SurfaceRT is the ground-truth response-time surface of the synthetic
+// queue used by the chaos replays and the serving daemon's analytic
+// tenant models: M/M/1-shaped, with a timeout-dependent sprint boost
+// on the effective service rate that peaks at the sweet spot (x·e^(1−x)
+// is 1 at x=1). Saturated arrivals clamp to the heavy-traffic response
+// time so the surface stays finite under burst storms.
+func SurfaceRT(mu, gain, sweet, lambda, to float64) float64 {
 	x := to / sweet
 	if x < 0 {
 		x = 0
@@ -124,7 +125,7 @@ func (m chaosModel) Predict(_ *profiler.Dataset, sc core.Scenario) (core.Predict
 	if b <= 0 {
 		b = 1
 	}
-	rt := chaosRT(m.mu, m.gain, m.sweet, sc.ArrivalRate, sc.Cond.Timeout) * b
+	rt := SurfaceRT(m.mu, m.gain, m.sweet, sc.ArrivalRate, sc.Cond.Timeout) * b
 	return core.Prediction{MeanRT: rt}, nil
 }
 
@@ -297,7 +298,7 @@ func RunChaos(sc fault.Scenario, opt ChaosOptions) (*ChaosResult, error) {
 			if real <= 0 {
 				real = lambda
 			}
-			truth := chaosRT(mu, o.SprintGain, o.SweetTimeout, real, to)
+			truth := SurfaceRT(mu, o.SprintGain, o.SweetTimeout, real, to)
 			sigma := noiseCV
 			observed := truth * math.Exp(sigma*noiseRNG.NormFloat64()-sigma*sigma/2)
 			// Health verdicts start after the estimator's first full

@@ -1,10 +1,9 @@
 package online
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
+	"strconv"
 	"sync"
 )
 
@@ -47,25 +46,39 @@ type DecisionRecord struct {
 	// Fingerprint hashes the deterministic decision fields (seq, level,
 	// timeout, rate, predicted RT, retuned, demoted) — wall times and
 	// cache ratios are excluded, so two replays of one scenario produce
-	// identical fingerprints record for record.
+	// identical fingerprints record for record. It is materialized
+	// lazily by Records(); the ledger stores the raw bits so the append
+	// path stays allocation-free.
 	Fingerprint string `json:"fingerprint"`
 }
 
-// fingerprint hashes the record's deterministic fields with FNV-64a,
-// matching ChaosResult.Fingerprint's construction.
-func (r DecisionRecord) fingerprint() string {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		//lint:ignore errdrop fnv's Write is documented to never fail
-		_, _ = h.Write(buf[:])
+// fnv64aOffset and fnv64aPrime are hash/fnv's 64-bit constants, inlined
+// so the fingerprint path needs no hasher allocation.
+const (
+	fnv64aOffset uint64 = 14695981039346656037
+	fnv64aPrime  uint64 = 1099511628211
+)
+
+// fnvWord folds one little-endian 64-bit word into an FNV-64a hash.
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnv64aPrime
+		v >>= 8
 	}
-	word(uint64(r.Seq))
-	word(uint64(r.Level))
-	word(math.Float64bits(r.Timeout))
-	word(math.Float64bits(r.Rate))
-	word(math.Float64bits(r.PredictedRT))
+	return h
+}
+
+// fingerprintBits hashes the record's deterministic fields with
+// FNV-64a, matching ChaosResult.Fingerprint's construction. The hex
+// Fingerprint string is this value formatted %016x.
+func (r DecisionRecord) fingerprintBits() uint64 {
+	h := fnv64aOffset
+	h = fnvWord(h, uint64(r.Seq))
+	h = fnvWord(h, uint64(r.Level))
+	h = fnvWord(h, math.Float64bits(r.Timeout))
+	h = fnvWord(h, math.Float64bits(r.Rate))
+	h = fnvWord(h, math.Float64bits(r.PredictedRT))
 	flags := uint64(0)
 	if r.Retuned {
 		flags |= 1
@@ -73,65 +86,203 @@ func (r DecisionRecord) fingerprint() string {
 	if r.Demoted {
 		flags |= 2
 	}
-	word(flags)
-	return fmt.Sprintf("%016x", h.Sum64())
+	return fnvWord(h, flags)
 }
 
-// DecisionLedger collects DecisionRecords in decision order. It is safe
-// for concurrent use.
+// fingerprintHex renders fingerprint bits the way records and chains
+// expose them.
+func fingerprintHex(bits uint64) string {
+	return fmt.Sprintf("%016x", bits)
+}
+
+// DecisionLedger collects DecisionRecords in decision order, keeps a
+// rolling FNV-64a chain over every record's fingerprint, and supports
+// snapshot/restore of that chain for crash safety: a ledger restored
+// at sequence k and fed the same decisions k.. produces bit-identical
+// fingerprints and chain to one that never crashed. The default ledger
+// retains every record; a bounded ledger (NewBoundedDecisionLedger)
+// retains only the most recent ones in a preallocated ring, so the
+// serving hot path appends with zero steady-state allocations. It is
+// safe for concurrent use.
 type DecisionLedger struct {
 	mu      sync.Mutex
-	records []DecisionRecord
-	stamped int // records whose VirtualTime has been stamped
+	bound   int              // >0: ring capacity; 0: unbounded
+	records []DecisionRecord // ring storage (bounded) or append-only
+	fps     []uint64         // fingerprint bits, parallel to records
+	head    int              // bounded: index of the oldest retained record
+	count   int              // retained records
+	seq     int              // next absolute sequence number
+	base    int              // absolute sequence at construction/restore
+	stamped int              // absolute sequence below which VirtualTime is stamped
+	chain   uint64           // rolling FNV-64a over all fingerprints
 }
 
-// NewDecisionLedger returns an empty ledger.
-func NewDecisionLedger() *DecisionLedger { return &DecisionLedger{} }
+// NewDecisionLedger returns an empty, unbounded ledger.
+func NewDecisionLedger() *DecisionLedger { return &DecisionLedger{chain: fnv64aOffset} }
 
-// Append assigns the record's sequence number and fingerprint and
-// stores it. A nil ledger ignores the record, so controllers append
-// unconditionally.
+// NewBoundedDecisionLedger returns a ledger retaining only the most
+// recent capacity records in a preallocated ring: Append never
+// allocates, which is what lets a serving tenant keep full decision
+// provenance on a zero-alloc decision path. The sequence numbers and
+// the fingerprint chain still cover every decision ever appended.
+func NewBoundedDecisionLedger(capacity int) *DecisionLedger {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &DecisionLedger{
+		bound:   capacity,
+		records: make([]DecisionRecord, capacity),
+		fps:     make([]uint64, capacity),
+		chain:   fnv64aOffset,
+	}
+}
+
+// Append assigns the record's sequence number, folds its fingerprint
+// into the chain and stores it. A nil ledger ignores the record, so
+// controllers append unconditionally.
 func (l *DecisionLedger) Append(r DecisionRecord) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	r.Seq = len(l.records)
-	r.Fingerprint = r.fingerprint()
-	l.records = append(l.records, r)
+	r.Seq = l.seq
+	r.Fingerprint = ""
+	fp := r.fingerprintBits()
+	l.chain = fnvWord(l.chain, fp)
+	switch {
+	case l.bound > 0 && l.count == l.bound:
+		l.records[l.head] = r
+		l.fps[l.head] = fp
+		l.head = (l.head + 1) % l.bound
+	case l.bound > 0:
+		i := (l.head + l.count) % l.bound
+		l.records[i] = r
+		l.fps[i] = fp
+		l.count++
+	default:
+		l.records = append(l.records, r)
+		l.fps = append(l.fps, fp)
+		l.count++
+	}
+	l.seq++
 }
 
-// StampVirtual sets VirtualTime on every record appended since the last
-// stamp — the replay loop calls it once per control step, after the
-// step's decision.
+// slot maps an absolute sequence number to its storage index. Callers
+// hold l.mu and guarantee abs is retained.
+func (l *DecisionLedger) slot(abs int) int {
+	off := abs - (l.seq - l.count)
+	if l.bound > 0 {
+		return (l.head + off) % l.bound
+	}
+	return off
+}
+
+// StampVirtual sets VirtualTime on every retained record appended since
+// the last stamp — the replay loop calls it once per control step,
+// after the step's decision.
 func (l *DecisionLedger) StampVirtual(now float64) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for ; l.stamped < len(l.records); l.stamped++ {
-		l.records[l.stamped].VirtualTime = now
+	lo := l.stamped
+	if oldest := l.seq - l.count; lo < oldest {
+		lo = oldest
 	}
+	for ; lo < l.seq; lo++ {
+		l.records[l.slot(lo)].VirtualTime = now
+	}
+	l.stamped = l.seq
 }
 
-// Records returns a copy of the ledger in decision order.
+// Records returns a copy of the retained records in decision order,
+// with each record's hex Fingerprint materialized. An unbounded ledger
+// retains everything; a bounded one the most recent capacity records.
 func (l *DecisionLedger) Records() []DecisionRecord {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]DecisionRecord(nil), l.records...)
+	out := make([]DecisionRecord, l.count)
+	for i := 0; i < l.count; i++ {
+		j := l.slot(l.seq - l.count + i)
+		out[i] = l.records[j]
+		out[i].Fingerprint = fingerprintHex(l.fps[j])
+	}
+	return out
 }
 
-// Len returns how many decisions have been recorded.
+// Len returns how many decisions have been appended to this ledger
+// (since construction or the last Restore) — not how many are
+// retained, which a bounded ledger caps at its capacity.
 func (l *DecisionLedger) Len() int {
 	if l == nil {
 		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.records)
+	return l.seq - l.base
+}
+
+// Chain returns the rolling FNV-64a chain over every fingerprint ever
+// folded in (including those folded before a Restore), as %016x hex.
+// Two ledgers fed identical decision sequences have identical chains —
+// the bit-for-bit crash-safety assertion.
+func (l *DecisionLedger) Chain() string {
+	if l == nil {
+		return fingerprintHex(fnv64aOffset)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fingerprintHex(l.chain)
+}
+
+// LedgerState is the ledger's crash-safety surface: the next sequence
+// number and the fingerprint chain, enough for a restored ledger to
+// continue the sequence as if the process never died.
+type LedgerState struct {
+	Seq   int    `json:"seq"`
+	Chain string `json:"chain"`
+}
+
+// State snapshots the ledger for persistence.
+func (l *DecisionLedger) State() LedgerState {
+	if l == nil {
+		return LedgerState{Chain: fingerprintHex(fnv64aOffset)}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerState{Seq: l.seq, Chain: fingerprintHex(l.chain)}
+}
+
+// Restore resets the ledger to continue from a snapshot: retained
+// records are dropped, the next Append gets sequence st.Seq, and the
+// chain picks up where the snapshot left it.
+func (l *DecisionLedger) Restore(st LedgerState) error {
+	if l == nil {
+		return fmt.Errorf("online: restoring a nil ledger")
+	}
+	chain, err := strconv.ParseUint(st.Chain, 16, 64)
+	if err != nil {
+		return fmt.Errorf("online: ledger chain %q: %w", st.Chain, err)
+	}
+	if st.Seq < 0 {
+		return fmt.Errorf("online: ledger seq %d must be non-negative", st.Seq)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bound == 0 {
+		l.records = nil
+		l.fps = nil
+	}
+	l.head = 0
+	l.count = 0
+	l.seq = st.Seq
+	l.base = st.Seq
+	l.stamped = st.Seq
+	l.chain = chain
+	return nil
 }

@@ -1,0 +1,190 @@
+package online
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the crash-safety surface of the degradation plane: every
+// piece of controller state that decisions depend on can be exported as
+// a plain JSON-serializable snapshot and restored into a freshly built
+// controller, such that the restored controller continues making
+// bit-identical decisions to one that never stopped. The serving daemon
+// persists these snapshots periodically; the chaos soak asserts the
+// continuation property across a kill-and-restart.
+
+// ControllerState is one tier Controller's decision state: the cached
+// decision and the retune count (which seeds the next annealing search,
+// so it must survive a restart for the search sequence to continue
+// deterministically).
+type ControllerState struct {
+	TunedRate      float64 `json:"tuned_rate"`
+	CurrentTimeout float64 `json:"current_timeout"`
+	PredictedRT    float64 `json:"predicted_rt"`
+	HaveDecision   bool    `json:"have_decision"`
+	Retunes        int     `json:"retunes"`
+}
+
+// state snapshots the controller's mutable decision state.
+func (c *Controller) state() ControllerState {
+	return ControllerState{
+		TunedRate:      c.tunedRate,
+		CurrentTimeout: c.currentTO,
+		PredictedRT:    c.lastPredRT,
+		HaveDecision:   c.haveDecision,
+		Retunes:        c.retunes,
+	}
+}
+
+// restore overwrites the controller's mutable decision state.
+func (c *Controller) restore(st ControllerState) error {
+	if st.Retunes < 0 {
+		return fmt.Errorf("online: controller retunes %d must be non-negative", st.Retunes)
+	}
+	c.tunedRate = st.TunedRate
+	c.currentTO = st.CurrentTimeout
+	c.lastPredRT = st.PredictedRT
+	c.haveDecision = st.HaveDecision
+	c.retunes = st.Retunes
+	return nil
+}
+
+// WatchdogState is a health watchdog's evidence window: the retained
+// residuals in observation order (oldest first) and the current healthy
+// streak.
+type WatchdogState struct {
+	Residuals []float64 `json:"residuals,omitempty"`
+	Streak    int       `json:"streak"`
+}
+
+// State snapshots the watchdog's evidence window.
+func (w *Watchdog) State() WatchdogState {
+	st := WatchdogState{Streak: w.streak}
+	if w.filled == 0 {
+		return st
+	}
+	st.Residuals = make([]float64, 0, w.filled)
+	start := 0
+	if w.filled == len(w.ring) {
+		start = w.next
+	}
+	for i := 0; i < w.filled; i++ {
+		st.Residuals = append(st.Residuals, w.ring[(start+i)%len(w.ring)])
+	}
+	return st
+}
+
+// Restore replays a snapshot's residuals into an empty window. A
+// snapshot wider than this watchdog's window keeps only the most recent
+// residuals; the streak is taken from the snapshot, not recomputed, so
+// promote hysteresis continues where it left off.
+func (w *Watchdog) Restore(st WatchdogState) error {
+	if st.Streak < 0 {
+		return fmt.Errorf("online: watchdog streak %d must be non-negative", st.Streak)
+	}
+	for _, r := range st.Residuals {
+		if math.IsNaN(r) || r < 0 {
+			return fmt.Errorf("online: watchdog residual %v must be a non-negative number", r)
+		}
+	}
+	w.Reset()
+	res := st.Residuals
+	if len(res) > len(w.ring) {
+		res = res[len(res)-len(w.ring):]
+	}
+	for _, r := range res {
+		w.ring[w.next] = r
+		w.next = (w.next + 1) % len(w.ring)
+		w.filled++
+	}
+	w.streak = st.Streak
+	return nil
+}
+
+// FallbackState is the full degradation-plane snapshot: the level in
+// force, both tier controllers' cached decisions, the last decision and
+// the banked last-known-good timeout, the demotion/promotion counters,
+// and both watchdogs' evidence windows.
+type FallbackState struct {
+	Level    int             `json:"level"`
+	Primary  ControllerState `json:"primary"`
+	Fallback ControllerState `json:"fallback"`
+
+	LastTimeout float64 `json:"last_timeout"`
+	LastRate    float64 `json:"last_rate"`
+	HaveTimeout bool    `json:"have_timeout"`
+
+	LastGoodTimeout float64 `json:"last_good_timeout"`
+	HaveGood        bool    `json:"have_good"`
+
+	Demotions  int `json:"demotions"`
+	Promotions int `json:"promotions"`
+
+	Active WatchdogState `json:"active"`
+	Probe  WatchdogState `json:"probe"`
+}
+
+// State snapshots the controller for persistence.
+func (f *FallbackController) State() FallbackState {
+	return FallbackState{
+		Level:           int(f.level),
+		Primary:         f.primary.state(),
+		Fallback:        f.fallback.state(),
+		LastTimeout:     f.lastTO,
+		LastRate:        f.lastRate,
+		HaveTimeout:     f.haveTO,
+		LastGoodTimeout: f.lastGoodTO,
+		HaveGood:        f.haveGood,
+		Demotions:       f.demotions,
+		Promotions:      f.promotions,
+		Active:          f.active.State(),
+		Probe:           f.probe.State(),
+	}
+}
+
+// Restore overwrites the controller's mutable state from a snapshot. On
+// success the restored controller's next decision is bit-identical to
+// what the snapshotted controller would have decided; on failure the
+// controller is unchanged.
+func (f *FallbackController) Restore(st FallbackState) error {
+	if st.Level < int(LevelHybrid) || st.Level > int(LevelStatic) {
+		return fmt.Errorf("online: level %d outside the fallback chain", st.Level)
+	}
+	if st.Demotions < 0 || st.Promotions < 0 {
+		return fmt.Errorf("online: demotions %d / promotions %d must be non-negative",
+			st.Demotions, st.Promotions)
+	}
+	// Validate both watchdog windows into scratch watchdogs first so a
+	// bad snapshot cannot leave the controller half-restored.
+	active := NewWatchdog(f.cfg.Watchdog)
+	probe := NewWatchdog(f.cfg.Watchdog)
+	if err := active.Restore(st.Active); err != nil {
+		return err
+	}
+	if err := probe.Restore(st.Probe); err != nil {
+		return err
+	}
+	if err := f.primary.restore(st.Primary); err != nil {
+		return err
+	}
+	if err := f.fallback.restore(st.Fallback); err != nil {
+		return err
+	}
+	f.level = Level(st.Level)
+	f.lastTO = st.LastTimeout
+	f.lastRate = st.LastRate
+	f.haveTO = st.HaveTimeout
+	f.lastGoodTO = st.LastGoodTimeout
+	f.haveGood = st.HaveGood
+	f.demotions = st.Demotions
+	f.promotions = st.Promotions
+	f.active = active
+	f.probe = probe
+	f.m.level.Set(float64(f.level))
+	return nil
+}
+
+// Demote forces the controller one level down the chain — the serving
+// daemon's bulkhead calls this when a tenant's decision path panics, so
+// a model that crashes (rather than erring) still costs it trust.
+func (f *FallbackController) Demote() { f.demote() }

@@ -87,6 +87,39 @@ func TestRunnerZeroAllocsAcrossSeeds(t *testing.T) {
 	}
 }
 
+// TestRunRepsIntoZeroAllocs pins the replication loop at zero
+// steady-state allocations for both the FIFO ring and the heap-ordered
+// SRPT path: with the caller holding the Result slice, the only
+// allocations RunReps ever made (the slice header plus per-rep output
+// vectors) disappear, closing the 17-allocs-per-call gap the bench
+// baseline used to carry.
+func TestRunRepsIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	for _, disc := range []Discipline{{Kind: DiscFIFO}, {Kind: DiscSRPT}} {
+		t.Run(string(disc.canonical().Kind), func(t *testing.T) {
+			p := allocParams()
+			p.Discipline = disc
+			out := make([]Result, 4)
+			for i := 0; i < 3; i++ {
+				if err := RunRepsInto(p, out); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := RunRepsInto(p, out); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state RunRepsInto(%s) allocated %.1f objects per call, want 0",
+					disc, allocs)
+			}
+		})
+	}
+}
+
 // TestFIFOBoundedLiveQueries is the regression test for the FIFO
 // backing-array retention bug: the old head-shifting queue
 // (s.queue = s.queue[1:]) kept every departed query reachable through

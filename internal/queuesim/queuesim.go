@@ -653,28 +653,43 @@ func MustRun(p Params) *Result {
 // RunReps runs reps serial replications of p on one reusable runner,
 // deriving replication i's seed as Seed + i*seedStride — exactly the
 // common-random-numbers derivation Predict uses — and returns the
-// per-replication results. It is the buffer-reusing primitive behind
-// Predict and the sweep engine's serial evaluations: only the returned
-// Result vectors are freshly allocated (they are the output); all
-// simulator state is shared across replications.
+// per-replication results. Only the returned Result slice (and, on the
+// first use of each slot, its vectors) is freshly allocated; callers
+// that keep the slice across calls should use RunRepsInto, which
+// reaches zero steady-state allocations.
 func RunReps(p Params, reps int) ([]Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
 	if reps <= 0 {
 		reps = 1
 	}
 	out := make([]Result, reps)
+	if err := RunRepsInto(p, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunRepsInto is RunReps writing replication i into out[i], reusing
+// each slot's RTs/QueueingTimes capacity. One pooled runner serves all
+// replications, so a caller holding the slice across calls runs entire
+// multi-replication predictions with zero steady-state allocations —
+// for every discipline, including the heap-ordered ones.
+func RunRepsInto(p Params, out []Result) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("queuesim: RunRepsInto needs at least one output slot")
+	}
 	r := getRunner()
 	defer putRunner(r)
 	for i := range out {
 		pi := p
 		pi.Seed = repSeed(p.Seed, i)
 		if err := r.RunInto(pi, &out[i]); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func (r *Runner) arrive() {

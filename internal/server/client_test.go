@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdsprint/internal/fault"
+	"mdsprint/internal/obs"
+)
+
+// writeFile is a test helper for snapshot corruption tests.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+// TestClientRetriesThroughInjectedFaults drives the client through the
+// fault package's chaos transport: seeded drops and injected 503s must
+// be absorbed by the retry plan, and the decision still lands.
+func TestClientRetriesThroughInjectedFaults(t *testing.T) {
+	s := newTestServer(t, Options{Tenants: testTenants("a")})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	chaos := fault.NewRoundTripper(http.DefaultTransport, fault.HTTPFaultConfig{
+		Seed: 11, DropProb: 0.3, ErrorProb: 0.3, Metrics: reg,
+	})
+	var retries atomic.Int64
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTP:       &http.Client{Transport: chaos},
+		MaxRetries: 12, Backoff: time.Millisecond, Seed: 7,
+		OnRetry: func(int) { retries.Add(1) },
+	}
+	for i := 0; i < 10; i++ {
+		res, err := c.Decide(context.Background(), "a", 0.6)
+		if err != nil {
+			t.Fatalf("decide %d through chaos transport: %v", i, err)
+		}
+		if res.Timeout <= 0 {
+			t.Fatalf("decide %d: non-positive timeout %v", i, res.Timeout)
+		}
+	}
+	injected, _ := reg.Value("mdsprint_fault_http_drops_total")
+	fives, _ := reg.Value("mdsprint_fault_http_5xx_total")
+	if injected+fives == 0 {
+		t.Fatal("chaos transport injected nothing; the test exercised no faults")
+	}
+	if retries.Load() == 0 {
+		t.Fatal("faults were injected but the client never retried")
+	}
+}
+
+// TestClientZeroRetriesFailsFast checks MaxRetries<0 means exactly one
+// attempt.
+func TestClientZeroRetriesFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, MaxRetries: -1}
+	if _, err := c.Decide(context.Background(), "a", 0.5); err == nil {
+		t.Fatal("decide against a shedding server with no retries succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1", calls.Load())
+	}
+}
+
+// TestClientHonorsRetryAfter checks a shed response's Retry-After
+// floors the backoff: with a 1s hint and a tiny backoff, the retry
+// must not arrive before the hint elapses.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var first atomic.Int64
+	var gap atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if first.CompareAndSwap(0, now) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		gap.Store(now - first.Load())
+		writeJSON(w, DecideResponse{Tenant: "a", Tier: "hybrid", Timeout: 1})
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, MaxRetries: 2, Backoff: time.Millisecond}
+	if _, err := c.Decide(context.Background(), "a", 0.5); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if got := time.Duration(gap.Load()); got < 900*time.Millisecond {
+		t.Fatalf("retry arrived %v after the 429, want >= ~1s (Retry-After floor)", got)
+	}
+}
+
+// TestClientTerminalOn4xx checks a non-shed client error is not
+// retried.
+func TestClientTerminalOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such tenant", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, MaxRetries: 5, Backoff: time.Millisecond}
+	_, err := c.Decide(context.Background(), "nope", 0.5)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err %v, want terminal 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried: %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestClientAttemptTimeoutBoundsBlackHole checks one unresponsive
+// attempt cannot eat the caller's whole deadline: the per-attempt
+// timeout fires and the retry goes to the (now healthy) server.
+func TestClientAttemptTimeoutBoundsBlackHole(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Black hole until the test ends: the client's per-attempt
+			// timeout, not this handler, must unblock the call.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		writeJSON(w, DecideResponse{Tenant: "a", Tier: "hybrid", Timeout: 1})
+	}))
+	// LIFO: release the black-holed handler before srv.Close waits on it.
+	defer srv.Close()
+	defer close(release)
+	c := &Client{
+		BaseURL: srv.URL, MaxRetries: 2, Backoff: time.Millisecond,
+		AttemptTimeout: 50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Decide(ctx, "a", 0.5); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("black-holed attempt held the call for %v; per-attempt timeout did not bound it", took)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("server saw %d calls, want the timed-out attempt plus a retry", calls.Load())
+	}
+}

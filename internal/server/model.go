@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"mdsprint/internal/core"
+	"mdsprint/internal/online"
+	"mdsprint/internal/profiler"
+)
+
+// SurfaceModel is a tenant's analytic performance model: it predicts
+// the synthetic sprint surface (online.SurfaceRT) and carries runtime
+// fault switches so chaos tests and the /v1/fault endpoint can script
+// a diverged fit (bias), an outage (fail), a crashing model (panic) or
+// a wedged one (delay) against a live tenant without restarting it.
+// All switches are atomic: the tenant worker reads them while the test
+// or fault endpoint flips them. The happy path allocates nothing.
+type SurfaceModel struct {
+	name            string
+	mu, gain, sweet float64
+
+	bias     atomic.Uint64 // Float64bits; 0 means unbiased
+	failing  atomic.Bool
+	panicky  atomic.Bool
+	delay    atomic.Int64 // nanoseconds of injected stall per prediction
+	predicts atomic.Uint64
+}
+
+// NewSurfaceModel returns an honest model of the surface with service
+// rate mu, sprint gain and sweet-spot timeout.
+func NewSurfaceModel(name string, mu, gain, sweet float64) *SurfaceModel {
+	return &SurfaceModel{name: name, mu: mu, gain: gain, sweet: sweet}
+}
+
+// Name implements core.Model.
+func (m *SurfaceModel) Name() string { return m.name }
+
+// Predict implements core.Model, honoring whatever faults are scripted
+// at call time.
+func (m *SurfaceModel) Predict(_ *profiler.Dataset, sc core.Scenario) (core.Prediction, error) {
+	m.predicts.Add(1)
+	if d := m.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if m.panicky.Load() {
+		panic(fmt.Sprintf("server: model %s scripted panic", m.name))
+	}
+	if m.failing.Load() {
+		return core.Prediction{}, fmt.Errorf("server: model %s scripted outage", m.name)
+	}
+	b := math.Float64frombits(m.bias.Load())
+	if b <= 0 {
+		b = 1
+	}
+	rt := online.SurfaceRT(m.mu, m.gain, m.sweet, sc.ArrivalRate, sc.Cond.Timeout) * b
+	return core.Prediction{MeanRT: rt}, nil
+}
+
+// SetBias scales predictions by b (≤ 0 restores honesty) — a diverged
+// fit that still answers.
+func (m *SurfaceModel) SetBias(b float64) { m.bias.Store(math.Float64bits(b)) }
+
+// SetFailing scripts every prediction to error — a model outage.
+func (m *SurfaceModel) SetFailing(v bool) { m.failing.Store(v) }
+
+// SetPanicky scripts every prediction to panic — the bulkhead test.
+func (m *SurfaceModel) SetPanicky(v bool) { m.panicky.Store(v) }
+
+// SetDelay scripts a stall of d per prediction — the wedged-model test.
+func (m *SurfaceModel) SetDelay(d time.Duration) { m.delay.Store(int64(d)) }
+
+// Predicts reports how many predictions the model has served.
+func (m *SurfaceModel) Predicts() uint64 { return m.predicts.Load() }
+
+// scriptFault applies one named fault mode, the shared vocabulary of
+// the /v1/fault endpoint and the chaos scenarios.
+func (m *SurfaceModel) scriptFault(mode string, value float64) error {
+	switch mode {
+	case "bias":
+		m.SetBias(value)
+	case "fail":
+		//lint:ignore floateq the fault value is a boolean flag: exactly 0 means off
+		m.SetFailing(value != 0)
+	case "panic":
+		//lint:ignore floateq the fault value is a boolean flag: exactly 0 means off
+		m.SetPanicky(value != 0)
+	case "delay":
+		m.SetDelay(time.Duration(value * float64(time.Second)))
+	case "clear":
+		m.SetBias(0)
+		m.SetFailing(false)
+		m.SetPanicky(false)
+		m.SetDelay(0)
+	default:
+		return fmt.Errorf("server: unknown fault mode %q (bias, fail, panic, delay, clear)", mode)
+	}
+	return nil
+}

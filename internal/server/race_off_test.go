@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled mirrors the build's -race flag so allocation assertions
+// (which the race runtime inflates) can skip themselves instead of
+// flaking.
+const raceEnabled = false

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mdsprint/internal/fault"
+	"mdsprint/internal/online"
+)
+
+// snapshotVersion guards the on-disk format; a mismatch refuses the
+// restore rather than misinterpreting fields.
+const snapshotVersion = 1
+
+// TenantSnapshot is one tenant's crash-safety state: the degradation
+// plane, the breaker and the ledger continuation point. Restored into
+// a freshly built tenant of the same config, the decision stream
+// continues bit-identically (see the online snapshot tests).
+type TenantSnapshot struct {
+	Config     TenantConfig          `json:"config"`
+	Fallback   online.FallbackState  `json:"fallback"`
+	Breaker    fault.BreakerSnapshot `json:"breaker"`
+	Ledger     online.LedgerState    `json:"ledger"`
+	Demotions  int                   `json:"demotions"`
+	Promotions int                   `json:"promotions"`
+}
+
+// Snapshot is the daemon's persisted state: every tenant that could be
+// captured, keyed by name.
+type Snapshot struct {
+	Version int                       `json:"version"`
+	Tenants map[string]TenantSnapshot `json:"tenants"`
+}
+
+// WriteSnapshot persists a snapshot atomically: write to a temp file
+// in the same directory, fsync, rename. A crash mid-write leaves the
+// previous snapshot intact — there is never a moment with a corrupt or
+// partial snapshot at path.
+func WriteSnapshot(path string, s Snapshot) error {
+	s.Version = snapshotVersion
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: snapshot temp file: %w", err)
+	}
+	defer func() {
+		//lint:ignore errdrop best-effort cleanup of an already-renamed (or abandoned) temp file
+		_ = os.Remove(tmp.Name())
+	}()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		//lint:ignore errdrop the write error is what matters
+		_ = tmp.Close()
+		return fmt.Errorf("server: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		//lint:ignore errdrop the sync error is what matters
+		_ = tmp.Close()
+		return fmt.Errorf("server: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot; a missing file is not an error (first
+// boot), reported as ok=false.
+func ReadSnapshot(path string) (Snapshot, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Snapshot{}, false, nil
+	}
+	if err != nil {
+		return Snapshot{}, false, fmt.Errorf("server: reading snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, false, fmt.Errorf("server: decoding snapshot %s: %w", path, err)
+	}
+	if s.Version != snapshotVersion {
+		return Snapshot{}, false, fmt.Errorf("server: snapshot %s is version %d, this build reads %d",
+			path, s.Version, snapshotVersion)
+	}
+	return s, true, nil
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// driveDeterministic runs a fixed decide+observe script against a
+// tenant — the same script on two servers must produce the same
+// decision stream.
+func driveDeterministic(t *testing.T, tn *tenant, start, steps int) {
+	t.Helper()
+	driveTenant(t, tn, start, steps)
+}
+
+// TestSnapshotKillRestoreBitIdenticalChain is the tentpole crash-safety
+// assertion at daemon level: run a server, drain (snapshot), kill it,
+// boot a second server from the snapshot, continue the workload — the
+// ledger fingerprint chain must be bit-identical to a server that ran
+// the whole workload uninterrupted.
+func TestSnapshotKillRestoreBitIdenticalChain(t *testing.T) {
+	const pre, post = 20, 20
+	cfgs := testTenants("t1", "t2")
+
+	// Reference: one uninterrupted server.
+	ref := newTestServer(t, Options{Tenants: cfgs})
+	for _, name := range []string{"t1", "t2"} {
+		tn, _ := ref.lookup(name)
+		driveDeterministic(t, tn, 0, pre+post)
+	}
+
+	// Crash path: serve, drain (final snapshot), kill, restore, continue.
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.json")
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	s1, err := New(ctx1, Options{Tenants: cfgs, SnapshotPath: snapPath})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, name := range []string{"t1", "t2"} {
+		tn, _ := s1.lookup(name)
+		driveDeterministic(t, tn, 0, pre)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := s1.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	dcancel()
+	cancel1() // the kill
+
+	s2 := newTestServer(t, Options{Tenants: cfgs, SnapshotPath: snapPath})
+	for _, name := range []string{"t1", "t2"} {
+		tn, _ := s2.lookup(name)
+		driveDeterministic(t, tn, pre, post)
+	}
+
+	for _, name := range []string{"t1", "t2"} {
+		rt, _ := ref.lookup(name)
+		ct, _ := s2.lookup(name)
+		if got, want := ct.ledger.Chain(), rt.ledger.Chain(); got != want {
+			t.Fatalf("tenant %s: chain after kill+restore %s, uninterrupted %s", name, got, want)
+		}
+		if got, want := ct.Level(), rt.Level(); got != want {
+			t.Fatalf("tenant %s: level after restore %v, uninterrupted %v", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotRestoresDegradedTenant checks a tenant that crashed
+// while demoted comes back demoted, with its breaker position intact.
+func TestSnapshotRestoresDegradedTenant(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.json")
+	cfgs := testTenants("a")
+
+	s1 := newTestServer(t, Options{Tenants: cfgs, SnapshotPath: snapPath})
+	tn, _ := s1.lookup("a")
+	driveTenant(t, tn, 0, 3)
+	tn.primary.SetFailing(true)
+	if _, _, err := tn.Decide(context.Background(), 0.9); err != nil {
+		t.Fatalf("decide during outage: %v", err)
+	}
+	wantLevel := tn.Level()
+	wantBreaker := tn.breaker.State()
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s1.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	s2 := newTestServer(t, Options{Tenants: cfgs, SnapshotPath: snapPath})
+	rt, _ := s2.lookup("a")
+	if got := rt.Level(); got != wantLevel {
+		t.Fatalf("restored level %v, want %v", got, wantLevel)
+	}
+	if got := rt.breaker.State(); got != wantBreaker {
+		t.Fatalf("restored breaker %v, want %v", got, wantBreaker)
+	}
+}
+
+// TestSnapshotPeriodicLoopWrites checks the background loop persists
+// without being asked.
+func TestSnapshotPeriodicLoopWrites(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.json")
+	s := newTestServer(t, Options{
+		Tenants:       testTenants("a"),
+		SnapshotPath:  snapPath,
+		SnapshotEvery: 20 * time.Millisecond,
+	})
+	tn, _ := s.lookup("a")
+	driveTenant(t, tn, 0, 2)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok, _ := ReadSnapshot(snapPath); ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReadSnapshotRejectsCorruption checks a truncated or versioned-off
+// snapshot refuses to restore instead of silently starting fresh.
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if _, ok, err := ReadSnapshot(path); ok || err != nil {
+		t.Fatalf("missing snapshot: ok=%v err=%v, want quiet first boot", ok, err)
+	}
+	writeFile(t, path, "{not json")
+	if _, _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("corrupt snapshot read without error")
+	}
+	writeFile(t, path, `{"version": 99, "tenants": {}}`)
+	if _, _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("future-version snapshot read without error")
+	}
+}
