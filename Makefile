@@ -81,7 +81,9 @@ cover:
 	check ./internal/trace 90; \
 	check ./internal/lint 90; \
 	check ./internal/httpharness 85; \
-	check ./internal/server 80
+	check ./internal/server 80; \
+	check ./internal/tier 90; \
+	check ./internal/queuesim/analytic 95
 
 # The experiments suite runs ~2 minutes without the race detector; the
 # detector's 5-10x slowdown overruns go test's default 10m binary
@@ -101,6 +103,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRunDeterminism$$' -fuzztime 10s ./internal/queuesim
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDiscipline$$' -fuzztime 10s ./internal/queuesim
 	$(GO) test -run '^$$' -fuzz '^FuzzSuppressionParse$$' -fuzztime 10s ./internal/lint
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTierSpec$$' -fuzztime 10s ./internal/tier
+	$(GO) test -run '^$$' -fuzz '^FuzzTierEscalation$$' -fuzztime 10s ./internal/tier
 
 # soak runs the sprintd daemon's end-to-end robustness scenario under
 # the race detector: concurrent tenants through chaos transports, a
@@ -133,7 +137,16 @@ bench-obs:
 # here without it; -count=1 defeats the test cache.
 .PHONY: alloc-check
 alloc-check:
-	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/queuesim ./internal/sim ./internal/server
+	$(GO) test -count=1 -run 'ZeroAllocs' ./internal/queuesim ./internal/sim ./internal/server ./internal/tier
+
+# bench-tier measures the staged RT estimator against always-full
+# evaluation on the mixed stationary query stream (baseline recorded in
+# BENCH_tier.json), then enforces the merge floors in test form: >=5x
+# median decide speedup with a cheap-tier hit rate >=70%.
+.PHONY: bench-tier
+bench-tier:
+	$(GO) test -run '^$$' -bench 'Decide' -benchmem -count 3 ./internal/tier/
+	MDSPRINT_BENCH_TIER=1 $(GO) test -count=1 -run 'TestTierSpeedupBudget' ./internal/tier/
 
 # bench-sim measures the pooled simulator hot path against the retired
 # heap-and-closure reference engine (Run, RunReps) plus the calibration

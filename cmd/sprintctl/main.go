@@ -12,6 +12,9 @@
 //	sprintctl disciplines -rate 0.016 -service 'lognormal(62.5,0.3)' -servers 2 -dispatch jsq
 //	    compare queueing disciplines (fifo, lifo, srpt, serpt, ps) and
 //	    multi-queue dispatchers head to head on one simulated workload
+//	sprintctl tiers -service 'exponential(0.016)' -util-lo 0.3 -util-hi 0.9
+//	    walk an operating range through the staged RT estimator and
+//	    show which ladder tier answers where, at what estimated error
 //	sprintctl colocate -combo 1
 //	    plan burstable-instance colocation for a Figure 13 combo
 //	sprintctl chaos -scenario model-divergence [-out timeline.json]
@@ -187,6 +190,8 @@ func run(args []string) int {
 		err = cmdColocate(rest[1:])
 	case "disciplines":
 		err = cmdDisciplines(rest[1:])
+	case "tiers":
+		err = cmdTiers(rest[1:])
 	case "chaos":
 		err = cmdChaos(ctx, rest[1:])
 	case "monitor":
@@ -243,7 +248,7 @@ func startDebugServer(addr string) (*obs.DebugServer, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|disciplines|colocate|chaos|monitor|pipeline|sprintd|decide|load> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sprintctl [-debug-addr host:port] [-quiet|-v] <workloads|profile|predict|explore|disciplines|tiers|colocate|chaos|monitor|pipeline|sprintd|decide|load> [flags]")
 	fmt.Fprintln(os.Stderr, "       sprintctl -chaos <scenario|all>")
 	fmt.Fprintln(os.Stderr, "       sprintctl -version")
 	fmt.Fprintln(os.Stderr, "run 'sprintctl <command> -h' for command flags")

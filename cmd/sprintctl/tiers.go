@@ -1,0 +1,113 @@
+package main
+
+// The tiers command: walk a workload's operating range through the
+// staged RT estimator and show which ladder tier answers where, at what
+// estimated error, and what the ladder saves over always-simulating —
+// the operator's quick answer to "is the cheap tier carrying my decide
+// traffic, and where does it escalate?".
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/experiments"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
+)
+
+func cmdTiers(args []string) error {
+	fs := flag.NewFlagSet("tiers", flag.ExitOnError)
+	spec := fs.String("spec", "", "tier spec, e.g. 'bound=0.1,short(div=8,reps=4,ci=0.5)' (empty = defaults)")
+	service := fs.String("service", "exponential(0.016)", "service-time dist spec at normal speed")
+	utilLo := fs.Float64("util-lo", 0.3, "lowest utilization to query")
+	utilHi := fs.Float64("util-hi", 0.9, "highest utilization to query")
+	points := fs.Int("points", 7, "operating points between util-lo and util-hi")
+	sprintRate := fs.Float64("sprint-rate", 0, "sprinting service rate in queries/second (0 disables sprinting)")
+	timeout := fs.Float64("timeout", -1, "sprint timeout in seconds (negative disables sprinting)")
+	budget := fs.Float64("budget", 0.3, "sprint budget as a fraction of the refill window")
+	refill := fs.Float64("refill", 600, "budget refill window in seconds")
+	queries := fs.Int("queries", 4000, "simulated queries per replication (ground-truth volume)")
+	reps := fs.Int("reps", 2, "full-tier replications")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tspec, err := tier.ParseTierSpec(*spec)
+	if err != nil {
+		return err
+	}
+	svc, err := dist.ParseDist(*service)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	mu := 1 / svc.Mean()
+	if *points < 1 {
+		return fmt.Errorf("tiers: -points %d must be at least 1", *points)
+	}
+
+	est, err := tier.New(tspec, tier.Options{
+		Engine:  sweep.New(sweep.Options{Metrics: obs.NewRegistry()}),
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := experiments.Table{
+		Title:   fmt.Sprintf("decision tiers — service %s (mu %.3g q/s), bound %.3g", svc, mu, est.Spec().Bound),
+		Columns: []string{"util", "tier", "mean RT", "err est", "latency", "escalations"},
+	}
+	for i := 0; i < *points; i++ {
+		frac := 0.0
+		if *points > 1 {
+			frac = float64(i) / float64(*points-1)
+		}
+		util := *utilLo + (*utilHi-*utilLo)*frac
+		p := queuesim.Params{
+			ArrivalRate: util * mu,
+			Service:     svc,
+			ServiceRate: mu,
+			SprintRate:  *sprintRate,
+			Timeout:     *timeout,
+			NumQueries:  *queries,
+			Warmup:      *queries / 10,
+			Seed:        *seed,
+		}
+		if *sprintRate > 0 && *timeout >= 0 {
+			p.BudgetSeconds = *budget * *refill
+			p.RefillTime = *refill
+		} else {
+			p.Timeout = -1
+		}
+		start := time.Now()
+		pred, dec, err := est.Estimate(sweep.Task{Params: p, Reps: *reps})
+		if err != nil {
+			return err
+		}
+		lat := time.Since(start)
+		errEst := "exact"
+		if dec.ErrEstimate > 0 {
+			errEst = fmt.Sprintf("±%.1f%%", 100*dec.ErrEstimate)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.2f", util),
+			dec.Tier.String(),
+			fmt.Sprintf("%.2fs", pred.MeanRT),
+			errEst,
+			lat.Round(time.Microsecond).String(),
+			dec.EscalationString(),
+		)
+	}
+	s := est.Stats()
+	tbl.AddNote("tiers served: analytic %d, cache %d, short %d, full %d (cheap rate %.0f%%)",
+		s.Analytic, s.Cache, s.Short, s.Full, 100*s.CheapRate())
+	tbl.AddNote("escalation reasons: gate %d, bound %d, cache-miss %d, wide-ci %d",
+		s.AnalyticGates, s.AnalyticBounds, s.CacheMisses, s.WideCIs)
+	fmt.Print(tbl.String())
+	return nil
+}

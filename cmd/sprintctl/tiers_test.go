@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCmdTiersTable(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdTiers([]string{
+			"-service", "exponential(0.016)",
+			"-util-lo", "0.3", "-util-hi", "0.9", "-points", "4",
+			"-queries", "800", "-reps", "2", "-seed", "7",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"decision tiers", "tier", "err est", "escalations", "tiers served", "cheap rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The low-utilization M/M/1 points must ride the analytic tier; the
+	// 0.9 point escalates (its error model exceeds the default bound).
+	if !strings.Contains(out, "analytic") {
+		t.Fatalf("no analytic answers in:\n%s", out)
+	}
+	if !strings.Contains(out, "analytic-bound") {
+		t.Fatalf("high-utilization point did not escalate past the analytic tier:\n%s", out)
+	}
+}
+
+func TestCmdTiersRejectsBadSpec(t *testing.T) {
+	if err := cmdTiers([]string{"-spec", "bound=0"}); err == nil {
+		t.Fatal("bound=0 accepted")
+	}
+	if err := cmdTiers([]string{"-points", "0"}); err == nil {
+		t.Fatal("points=0 accepted")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 )
 
 // Scenario is one prediction request: a sprinting policy plus workload
@@ -190,11 +191,13 @@ func toPrediction(p queuesim.Prediction, rate float64) Prediction {
 	}
 }
 
-// simulate evaluates one scenario through the sweep engine. The
-// prediction is one "core.predict" span (nested under the context's
-// span, or a root on the active tracer) with the sweep evaluation as
-// its child.
-func simulate(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, sc Scenario, rate float64, queries, reps int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
+// simulate evaluates one scenario through the sweep engine — or, when
+// est is non-nil, through the staged tier estimator, which serves the
+// cheapest tier whose error bound suffices and annotates the span with
+// the tier that answered. The prediction is one "core.predict" span
+// (nested under the context's span, or a root on the active tracer)
+// with the sweep evaluation as its child.
+func simulate(ctx context.Context, e *sweep.Engine, est *tier.Estimator, ds *profiler.Dataset, sc Scenario, rate float64, queries, reps int, seed uint64, tracer obs.QueryTracer) (Prediction, error) {
 	t, err := simTask(ds, sc, rate, queries, reps, seed, tracer)
 	if err != nil {
 		return Prediction{}, err
@@ -203,7 +206,15 @@ func simulate(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, sc Sce
 	sp.SetFloat("sprint_rate", rate)
 	sp.SetFloat("timeout_s", sc.Cond.Timeout)
 	start := modelClock.Now()
-	pred, err := sweep.Or(e).EvaluateSpan(sp, t)
+	var pred queuesim.Prediction
+	if est != nil {
+		var dec tier.Decision
+		pred, dec, err = est.Estimate(t)
+		sp.SetString("tier", dec.Tier.String())
+		sp.SetFloat("tier_err_estimate", dec.ErrEstimate)
+	} else {
+		pred, err = sweep.Or(e).EvaluateSpan(sp, t)
+	}
 	sp.SetError(err)
 	sp.End()
 	if err != nil {
@@ -216,9 +227,11 @@ func simulate(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, sc Sce
 
 // simulateAll evaluates a batch of scenarios at per-scenario sprint
 // rates, sharded across the engine's workers with results in scenario
-// order. The batch is one "core.predict_batch" span with the sweep
-// batch (and its per-task cache annotations) nested under it.
-func simulateAll(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, scs []Scenario, rates []float64, queries, reps int, seed uint64, tracer obs.QueryTracer) ([]Prediction, error) {
+// order — or through the tier estimator's batched three-pass path when
+// est is non-nil. The batch is one "core.predict_batch" span with the
+// sweep batch (and its per-task cache annotations) nested under it; the
+// tiered path annotates how many answers the cheap tiers absorbed.
+func simulateAll(ctx context.Context, e *sweep.Engine, est *tier.Estimator, ds *profiler.Dataset, scs []Scenario, rates []float64, queries, reps int, seed uint64, tracer obs.QueryTracer) ([]Prediction, error) {
 	tasks := make([]sweep.Task, len(scs))
 	for i, sc := range scs {
 		t, err := simTask(ds, sc, rates[i], queries, reps, seed, tracer)
@@ -230,7 +243,21 @@ func simulateAll(ctx context.Context, e *sweep.Engine, ds *profiler.Dataset, scs
 	sp := obs.StartSpanCtx(ctx, "core.predict_batch")
 	sp.SetInt("scenarios", int64(len(scs)))
 	start := modelClock.Now()
-	preds, err := sweep.Or(e).EvaluateAllCtx(obs.ContextWithSpan(ctx, sp), tasks)
+	var preds []queuesim.Prediction
+	var err error
+	if est != nil {
+		var decs []tier.Decision
+		preds, decs, err = est.EstimateAll(tasks)
+		cheap := int64(0)
+		for _, d := range decs {
+			if d.Tier == tier.TierAnalytic || d.Tier == tier.TierCache {
+				cheap++
+			}
+		}
+		sp.SetInt("tier_cheap", cheap)
+	} else {
+		preds, err = sweep.Or(e).EvaluateAllCtx(obs.ContextWithSpan(ctx, sp), tasks)
+	}
 	sp.SetError(err)
 	sp.End()
 	if err != nil {
@@ -406,6 +433,11 @@ type NoML struct {
 	// Engine evaluates (and memoizes) the prediction simulations; nil
 	// resolves per Workers above.
 	Engine *sweep.Engine
+	// Tiers, when non-nil, answers predictions with the cheapest
+	// sufficient tier (analytic closed form, sweep-cache hit, short
+	// replications) instead of always simulating; it supersedes Engine
+	// for answering, using its own engine for the simulation tiers.
+	Tiers *tier.Estimator
 	// Tracer forwards the prediction simulations' lifecycle events
 	// (and disables memoization for them).
 	Tracer obs.QueryTracer
@@ -439,7 +471,7 @@ func (n *NoML) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) {
 // PredictCtx is Predict honoring cancellation and span tracing.
 func (n *NoML) PredictCtx(ctx context.Context, ds *profiler.Dataset, sc Scenario) (Prediction, error) {
 	queries, reps := n.simSizes()
-	return simulate(ctx, n.resolveEngine(), ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Seed, n.Tracer)
+	return simulate(ctx, n.resolveEngine(), n.Tiers, ds, sc, conditionMarginal(ds, sc.Cond), queries, reps, n.Seed, n.Tracer)
 }
 
 // PredictAll scores a batch of scenarios as one sweep.
@@ -454,7 +486,7 @@ func (n *NoML) PredictAllCtx(ctx context.Context, ds *profiler.Dataset, scs []Sc
 	for i, sc := range scs {
 		rates[i] = conditionMarginal(ds, sc.Cond)
 	}
-	return simulateAll(ctx, n.resolveEngine(), ds, scs, rates, queries, reps, n.Seed, n.Tracer)
+	return simulateAll(ctx, n.resolveEngine(), n.Tiers, ds, scs, rates, queries, reps, n.Seed, n.Tracer)
 }
 
 // ensure interface conformance.
@@ -474,6 +506,7 @@ type Hybrid struct {
 	simReps    int
 	seed       uint64
 	engine     *sweep.Engine
+	tiers      *tier.Estimator
 	tracer     obs.QueryTracer
 }
 
@@ -502,6 +535,10 @@ type HybridOptions struct {
 	// fits trip it and later records degrade to mu_m instead of burning
 	// simulator time on a misbehaving profile. May be nil.
 	Breaker *fault.Breaker
+	// Tiers, when non-nil, answers the trained model's predictions with
+	// the cheapest sufficient tier instead of always simulating (see
+	// NoML.Tiers). Training/calibration is unaffected.
+	Tiers *tier.Estimator
 }
 
 // TrainHybrid calibrates effective sprint rates for every training
@@ -574,6 +611,7 @@ func TrainHybridCtx(ctx context.Context, sets []TrainingSet, o HybridOptions) (h
 		simReps:    o.SimReps,
 		seed:       o.Seed,
 		engine:     engineFor(o.Engine, o.Workers),
+		tiers:      o.Tiers,
 		tracer:     o.Tracer,
 	}
 	if h.simQueries == 0 {
@@ -624,7 +662,7 @@ func (h *Hybrid) Predict(ds *profiler.Dataset, sc Scenario) (Prediction, error) 
 
 // PredictCtx is Predict honoring cancellation and span tracing.
 func (h *Hybrid) PredictCtx(ctx context.Context, ds *profiler.Dataset, sc Scenario) (Prediction, error) {
-	return simulate(ctx, h.engine, ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.seed, h.tracer)
+	return simulate(ctx, h.engine, h.tiers, ds, sc, h.EffectiveRate(ds, sc), h.simQueries, h.simReps, h.seed, h.tracer)
 }
 
 // PredictAll runs the pipeline for a batch of scenarios as one sweep:
@@ -640,7 +678,7 @@ func (h *Hybrid) PredictAllCtx(ctx context.Context, ds *profiler.Dataset, scs []
 	for i, sc := range scs {
 		rates[i] = h.EffectiveRate(ds, sc)
 	}
-	return simulateAll(ctx, h.engine, ds, scs, rates, h.simQueries, h.simReps, h.seed, h.tracer)
+	return simulateAll(ctx, h.engine, h.tiers, ds, scs, rates, h.simQueries, h.simReps, h.seed, h.tracer)
 }
 
 // Records exposes the calibrated training rows (for diagnostics and the

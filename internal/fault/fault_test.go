@@ -380,3 +380,64 @@ func TestSweepHookErrorMentionsFault(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", err)
 }
+
+// TestBreakerSnapshotRestore pins the persistence surface in-package:
+// a restored breaker continues the exact call sequence of the original
+// (the daemon-level bit-identity test builds on this), bad snapshots
+// are rejected without touching state, and the zero config resolves to
+// its documented defaults.
+func TestBreakerSnapshotRestore(t *testing.T) {
+	mk := func() *Breaker {
+		return NewBreaker(BreakerConfig{
+			Name: "snap", FailureThreshold: 2, CooldownCalls: 3, HalfOpenSuccesses: 2,
+			Metrics: obs.NewRegistry(),
+		})
+	}
+	orig := mk()
+	orig.Failure()
+	orig.Failure() // trips open
+	orig.Allow()   // one denial into the cooldown
+	snap := orig.Snapshot()
+	if snap.State != int(Open) || snap.Denied != 1 {
+		t.Fatalf("snapshot = %+v, want open with 1 denial", snap)
+	}
+
+	restored := mk()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Both breakers must now walk the same sequence: two more denials
+	// reach the cooldown, then a probe is admitted.
+	for _, b := range []*Breaker{orig, restored} {
+		if b.Allow() || b.Allow() {
+			t.Fatal("open breaker allowed a call mid-cooldown")
+		}
+		if b.State() != HalfOpen || !b.Allow() {
+			t.Fatalf("state %s after cooldown, want half-open probe", b.State())
+		}
+	}
+
+	// Rejected snapshots leave the breaker unchanged.
+	before := restored.Snapshot()
+	for _, bad := range []BreakerSnapshot{
+		{State: -1},
+		{State: int(HalfOpen) + 1},
+		{State: int(Closed), Failures: -1},
+		{State: int(Closed), Denied: -1},
+		{State: int(Closed), ProbeOK: -1},
+	} {
+		if err := restored.Restore(bad); err == nil {
+			t.Fatalf("Restore(%+v) accepted an invalid snapshot", bad)
+		}
+	}
+	if restored.Snapshot() != before {
+		t.Fatal("failed Restore mutated the breaker")
+	}
+
+	// The zero config resolves to the documented defaults.
+	def := BreakerConfig{}.withDefaults()
+	if def.Name != "breaker" || def.FailureThreshold != 3 ||
+		def.CooldownCalls != 8 || def.HalfOpenSuccesses != 2 {
+		t.Fatalf("withDefaults() = %+v", def)
+	}
+}

@@ -48,6 +48,7 @@ func DefaultConfig() *Config {
 		// replay: identical inputs must yield identical outputs.
 		DeterministicPackages: []string{
 			"internal/queuesim",
+			"internal/queuesim/analytic",
 			"internal/queuesim/dispatch",
 			"internal/sim",
 			"internal/forest",
@@ -58,6 +59,9 @@ func DefaultConfig() *Config {
 			// Chaos replays are fingerprinted: same seed, same timeline.
 			"internal/fault",
 			"internal/online",
+			// Tier decisions are replayable provenance: same task, same
+			// engine state, same ladder answer.
+			"internal/tier",
 		},
 		FloatEqAllow: []string{
 			"internal/stats.ApproxEqual",

@@ -9,6 +9,7 @@ import (
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 )
 
 // FallbackConfig builds a FallbackController.
@@ -40,6 +41,12 @@ type FallbackConfig struct {
 	// Engine is the sweep engine whose cache hit ratio decisions record;
 	// nil reads the process-shared engine.
 	Engine *sweep.Engine
+	// Tiers, when set, is the staged estimator the models were built
+	// over; each decision stamps the estimator-tier provenance (which
+	// ladder tier dominated the decision's model queries, and how many
+	// were answered below simulation cost) into its DecisionRecord. May
+	// be nil.
+	Tiers *tier.Estimator
 	// Clock times selections and searches for decision provenance; nil
 	// uses the real clock.
 	Clock obs.Clock
@@ -178,6 +185,10 @@ func (f *FallbackController) decide(sp *obs.Span, rate float64) (float64, error)
 	clk := obs.ClockOr(f.cfg.Clock)
 	start := clk.Now()
 	startLevel := f.level
+	var estBefore tier.Stats
+	if f.cfg.Tiers != nil {
+		estBefore = f.cfg.Tiers.Stats()
+	}
 	to, info, err := f.timeoutAt(f.level, rate, sp)
 	for err != nil && f.level < LevelStatic {
 		f.demote()
@@ -201,6 +212,14 @@ func (f *FallbackController) decide(sp *obs.Span, rate float64) (float64, error)
 		SelectNanos:   clk.Now().Sub(start).Nanoseconds(),
 		SearchNanos:   info.SearchNanos,
 	}
+	if f.cfg.Tiers != nil {
+		d := f.cfg.Tiers.Stats().Sub(estBefore)
+		if dom, ok := d.Dominant(); ok {
+			rec.EstTier = dom.String()
+		}
+		rec.EstQueries = int64(d.Answers)
+		rec.EstCheap = int64(d.Analytic + d.Cache)
+	}
 	f.cfg.Ledger.Append(rec)
 	f.m.decisions.Inc()
 	f.m.tier[int(f.level)].Inc()
@@ -217,6 +236,9 @@ func (f *FallbackController) decide(sp *obs.Span, rate float64) (float64, error)
 	sp.SetBool("retuned", rec.Retuned)
 	sp.SetBool("demoted", rec.Demoted)
 	sp.SetString("breaker", rec.BreakerState)
+	if rec.EstTier != "" {
+		sp.SetString("est_tier", rec.EstTier)
+	}
 	return to, nil
 }
 

@@ -5,9 +5,13 @@ import (
 	"testing"
 
 	"mdsprint/internal/core"
+	"mdsprint/internal/dist"
 	"mdsprint/internal/fault"
 	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 )
 
 // scriptModel is a test model whose predictions are a scripted function
@@ -249,5 +253,59 @@ func TestChaosModelAndViolations(t *testing.T) {
 	sc := fault.Scenario{Expect: fault.Expect{MaxLevel: fault.LevelHybridIdx, EndLevel: fault.LevelHybridIdx}}
 	if v := res.Violations(sc); len(v) != 2 {
 		t.Errorf("got %d violations, want 2: %v", len(v), v)
+	}
+}
+
+// TestDecisionRecordsEstimatorTier wires a staged tier estimator into
+// the decide path and checks each DecisionRecord carries the estimator
+// provenance — which ladder tier dominated the decision's model queries
+// and how many were answered below simulation cost — while the
+// fingerprint chain stays invariant to it (tier choice depends on cache
+// warmth, which replays legitimately differ on).
+func TestDecisionRecordsEstimatorTier(t *testing.T) {
+	reg := obs.NewRegistry()
+	est := tier.Must(tier.Spec{}, tier.Options{
+		Engine:  sweep.New(sweep.Options{Metrics: obs.NewRegistry()}),
+		Metrics: obs.NewRegistry(),
+	})
+	// The primary model queries the estimator with an analytic-eligible
+	// M/M/1 task, the way a tiered core model would.
+	primary := scriptModel{name: "tiered", fn: func(core.Scenario) (core.Prediction, error) {
+		mean, _, err := est.MeanRT(sweep.Task{Params: queuesim.Params{
+			ArrivalRate: 0.5, Service: dist.NewExponential(1), ServiceRate: 1,
+			Timeout: -1, NumQueries: 4000, Seed: 9,
+		}, Reps: 2})
+		return core.Prediction{MeanRT: mean}, err
+	}}
+	led := NewDecisionLedger()
+	cfg := fallbackConfig(primary, flatModel("fallback", 10), reg)
+	cfg.Ledger = led
+	cfg.Tiers = est
+	fc, err := NewFallbackController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Timeout(0.5); err != nil {
+		t.Fatal(err)
+	}
+	recs := led.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.EstTier != tier.TierAnalytic.String() {
+		t.Fatalf("EstTier = %q, want %q", r.EstTier, tier.TierAnalytic)
+	}
+	if r.EstQueries == 0 || r.EstCheap == 0 || r.EstCheap > r.EstQueries {
+		t.Fatalf("EstQueries=%d EstCheap=%d: want both positive with cheap <= queries", r.EstQueries, r.EstCheap)
+	}
+
+	// Fingerprint invariance: the same record with the estimator fields
+	// zeroed hashes identically — provenance is observability, not
+	// replay identity.
+	scrubbed := r
+	scrubbed.EstTier, scrubbed.EstQueries, scrubbed.EstCheap = "", 0, 0
+	if r.fingerprintBits() != scrubbed.fingerprintBits() {
+		t.Fatal("estimator provenance leaked into the decision fingerprint")
 	}
 }

@@ -43,6 +43,17 @@ type DecisionRecord struct {
 	// the portion spent in the annealing search (0 without a retune).
 	SelectNanos int64 `json:"select_nanos"`
 	SearchNanos int64 `json:"search_nanos"`
+	// EstTier names the staged-estimator tier (analytic/cache/short/
+	// full) that dominated this decision's model queries, "" when the
+	// decide path runs without a tier estimator. EstQueries counts the
+	// model queries the decision consumed; EstCheap how many of them
+	// were answered below simulation cost (analytic + cache). Like wall
+	// times and cache ratios these are excluded from the fingerprint:
+	// which tier answers depends on cache warmth, which two replays of
+	// one scenario legitimately differ on.
+	EstTier    string `json:"est_tier,omitempty"`
+	EstQueries int64  `json:"est_queries,omitempty"`
+	EstCheap   int64  `json:"est_cheap,omitempty"`
 	// Fingerprint hashes the deterministic decision fields (seq, level,
 	// timeout, rate, predicted RT, retuned, demoted) — wall times and
 	// cache ratios are excluded, so two replays of one scenario produce

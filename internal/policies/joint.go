@@ -73,14 +73,25 @@ func JointSearch(c Context, candidates []JointCandidate, opts explore.BatchOptio
 
 		if cand.Discipline.Kind == queuesim.DiscPS {
 			// No timeout knob: score the fixed no-sprint point.
-			pred, err := eng.Evaluate(sweep.Task{
+			task := sweep.Task{
 				Params: simParams(ctx, -1, 0, 0),
 				Reps:   ctx.SimReps,
-			})
+			}
+			var (
+				mean float64
+				err  error
+			)
+			if cc.Tiers != nil {
+				mean, _, err = cc.Tiers.MeanRT(task)
+			} else {
+				var pred queuesim.Prediction
+				pred, err = eng.Evaluate(task)
+				mean = pred.MeanRT
+			}
 			if err != nil {
 				return nil, -1, fmt.Errorf("policies: %s: %w", cand.Label(), err)
 			}
-			outcomes[i] = JointOutcome{Candidate: cand, Timeout: -1, MeanRT: pred.MeanRT}
+			outcomes[i] = JointOutcome{Candidate: cand, Timeout: -1, MeanRT: mean}
 			continue
 		}
 
@@ -91,6 +102,10 @@ func JointSearch(c Context, candidates []JointCandidate, opts explore.BatchOptio
 					Params: simParams(ctx, pt[0], ctx.BudgetPct, rate),
 					Reps:   ctx.SimReps,
 				}
+			}
+			if cc.Tiers != nil {
+				means, _, err := cc.Tiers.MeanRTs(tasks)
+				return means, err
 			}
 			return eng.MeanRTs(tasks)
 		}

@@ -24,6 +24,7 @@ import (
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/stats"
 	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 )
 
 // Context fixes the workload conditions (everything except the timeout/
@@ -52,6 +53,12 @@ type Context struct {
 	// Engine evaluates the model simulations; nil uses sweep.Shared(),
 	// so settings revisited across baselines are memoized.
 	Engine *sweep.Engine
+	// Tiers, when set, answers mean-RT queries through the staged
+	// estimator (analytic/cache/short/full ladder) instead of always
+	// running full-rep simulations; it supersedes Engine for scoring.
+	// Quantile probes (FewToMany, Adrenaline) still simulate directly —
+	// they need the full RT sample, not a mean.
+	Tiers *tier.Estimator
 }
 
 func (c Context) withDefaults() Context {
@@ -207,10 +214,18 @@ func ExpectedRT(c Context, s Setting, sprintRate float64) float64 {
 			rate = cap
 		}
 	}
-	pred, err := sweep.Or(cc.Engine).Evaluate(sweep.Task{
+	task := sweep.Task{
 		Params: simParams(cc, s.Timeout, s.BudgetPct, rate),
 		Reps:   cc.SimReps,
-	})
+	}
+	if cc.Tiers != nil {
+		mean, _, err := cc.Tiers.MeanRT(task)
+		if err != nil {
+			panic(fmt.Sprintf("policies: %v", err))
+		}
+		return mean
+	}
+	pred, err := sweep.Or(cc.Engine).Evaluate(task)
 	if err != nil {
 		panic(fmt.Sprintf("policies: %v", err))
 	}

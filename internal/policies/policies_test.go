@@ -1,12 +1,16 @@
 package policies
 
 import (
+	"math"
 	"testing"
 
 	"mdsprint/internal/mech"
+	"mdsprint/internal/obs"
 	"mdsprint/internal/profiler"
 	"mdsprint/internal/queuesim"
 	"mdsprint/internal/sprint"
+	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 	"mdsprint/internal/workload"
 )
 
@@ -152,5 +156,30 @@ func TestThrottleMatchesSection43Rates(t *testing.T) {
 	}
 	if got := sprint.ToQPH(c.Dataset.MarginalRate); got < 60 || got > 76 {
 		t.Fatalf("throttled sprint rate %v qph, want ~70", got)
+	}
+}
+
+// TestExpectedRTViaTiers checks the tiered path answers within its
+// advertised error bound of the direct engine evaluation, and that the
+// estimator actually saw the queries.
+func TestExpectedRTViaTiers(t *testing.T) {
+	c := throttledJacobi(t)
+	s := BigBurst(c)
+	rate := c.Dataset.MarginalRate
+
+	full := ExpectedRT(c, s, rate)
+
+	tc := c
+	tc.Tiers = tier.Must(tier.Spec{Bound: 0.1}, tier.Options{
+		Engine:  sweep.New(sweep.Options{Metrics: obs.NewRegistry()}),
+		Metrics: obs.NewRegistry(),
+	})
+	tiered := ExpectedRT(tc, s, rate)
+
+	if rel := math.Abs(tiered-full) / full; rel > tc.Tiers.Spec().Bound {
+		t.Fatalf("tiered ExpectedRT %v vs full %v: relative error %.3f exceeds bound", tiered, full, rel)
+	}
+	if st := tc.Tiers.Stats(); st.Answers == 0 {
+		t.Fatal("tier estimator saw no queries")
 	}
 }

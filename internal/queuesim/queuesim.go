@@ -183,6 +183,13 @@ func (p Params) speedup() float64 {
 	return s
 }
 
+// Sprinting reports whether this configuration's sprint mechanism is
+// live — a non-negative timeout, a positive budget, and a sprint rate
+// that actually changes the processing rate. Surrogate layers
+// (internal/queuesim/analytic) use it as an applicability gate: closed
+// forms only describe the no-sprint queue.
+func (p Params) Sprinting() bool { return p.sprintingEnabled() }
+
 // sprintingEnabled mirrors the policy-disabling conventions of
 // sprint.Policy. Note speedups below 1 keep sprinting "enabled": the
 // mechanism still toggles, it just hurts.

@@ -61,3 +61,39 @@ func TestTenantObserveZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state ObserveRT allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// TestTenantDecideZeroAllocsTiered is the same gate with a tier
+// estimator wired in (TierSpec): the decide path additionally stamps
+// estimator-tier provenance into each DecisionRecord, and the retune's
+// model queries ride the analytic tier — none of which may cost the
+// steady state an allocation.
+func TestTenantDecideZeroAllocsTiered(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	cfg := testTenants("a")
+	cfg[0].TierSpec = "bound=0.1"
+	s := newTestServer(t, Options{Tenants: cfg})
+	tn, _ := s.lookup("a")
+	ctx := context.Background()
+	const rate = 0.6
+	for i := 0; i < 3; i++ {
+		if _, _, err := tn.Decide(ctx, rate); err != nil {
+			t.Fatalf("warmup decide: %v", err)
+		}
+	}
+	// The warmup retune must actually have exercised the ladder, with
+	// the cheap analytic tier carrying the annealing search's queries.
+	st := tn.tiers.Stats()
+	if st.Answers == 0 || st.Analytic == 0 {
+		t.Fatalf("tier estimator answers=%d analytic=%d: the decide path never queried the ladder", st.Answers, st.Analytic)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := tn.Decide(ctx, rate); err != nil {
+			t.Fatalf("decide: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tiered Decide allocates %.1f objects/op, want 0", allocs)
+	}
+}

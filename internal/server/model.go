@@ -7,8 +7,12 @@ import (
 	"time"
 
 	"mdsprint/internal/core"
+	"mdsprint/internal/dist"
 	"mdsprint/internal/online"
 	"mdsprint/internal/profiler"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 )
 
 // SurfaceModel is a tenant's analytic performance model: it predicts
@@ -27,6 +31,20 @@ type SurfaceModel struct {
 	panicky  atomic.Bool
 	delay    atomic.Int64 // nanoseconds of injected stall per prediction
 	predicts atomic.Uint64
+
+	// est, when set, answers the unsaturated surface query through the
+	// staged tier estimator: 1/(muEff - lambda) is exactly the M/M/1
+	// mean, so the analytic tier serves it for free while the ladder
+	// still accounts for the query (and escalates honestly near
+	// saturation). The cached task keeps steady-state predictions —
+	// the same (rate, timeout) operating point decision after decision
+	// — allocation-free; it is touched only by the tenant worker
+	// goroutine that owns Predict, like the controller itself.
+	est        *tier.Estimator
+	taskLambda uint64 // Float64bits of the cached task's arrival rate
+	taskMuEff  uint64 // Float64bits of the cached task's service rate
+	cached     sweep.Task
+	haveTask   bool
 }
 
 // NewSurfaceModel returns an honest model of the surface with service
@@ -55,8 +73,47 @@ func (m *SurfaceModel) Predict(_ *profiler.Dataset, sc core.Scenario) (core.Pred
 	if b <= 0 {
 		b = 1
 	}
+	if m.est != nil {
+		x := sc.Cond.Timeout / m.sweet
+		if x < 0 {
+			x = 0
+		}
+		muEff := m.mu * (1 + m.gain*x*math.Exp(1-x))
+		if sc.ArrivalRate < 0.95*muEff {
+			mean, _, err := m.est.MeanRT(m.task(sc.ArrivalRate, muEff))
+			if err == nil {
+				return core.Prediction{MeanRT: mean * b}, nil
+			}
+			// An estimator failure falls back to the closed form: the
+			// surface is exact, the ladder is the accounting.
+		}
+	}
 	rt := online.SurfaceRT(m.mu, m.gain, m.sweet, sc.ArrivalRate, sc.Cond.Timeout) * b
 	return core.Prediction{MeanRT: rt}, nil
+}
+
+// SetTiers routes the model's unsaturated surface queries through a
+// staged tier estimator. Call before the tenant starts serving.
+func (m *SurfaceModel) SetTiers(est *tier.Estimator) { m.est = est }
+
+// task returns the M/M/1 query for the (lambda, muEff) operating
+// point, rebuilding the cached task only when the point moves — the
+// steady-state decide loop revisits one point, so this path performs
+// no allocations after the first visit.
+func (m *SurfaceModel) task(lambda, muEff float64) sweep.Task {
+	lb, mb := math.Float64bits(lambda), math.Float64bits(muEff)
+	if !m.haveTask || m.taskLambda != lb || m.taskMuEff != mb {
+		m.cached = sweep.Task{Params: queuesim.Params{
+			ArrivalRate: lambda,
+			Service:     dist.NewExponential(muEff),
+			ServiceRate: muEff,
+			Timeout:     -1,
+			NumQueries:  4000,
+			Seed:        1,
+		}, Reps: 2}
+		m.taskLambda, m.taskMuEff, m.haveTask = lb, mb, true
+	}
+	return m.cached
 }
 
 // SetBias scales predictions by b (≤ 0 restores honesty) — a diverged

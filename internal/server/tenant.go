@@ -12,6 +12,8 @@ import (
 	"mdsprint/internal/obs"
 	"mdsprint/internal/online"
 	"mdsprint/internal/profiler"
+	"mdsprint/internal/sweep"
+	"mdsprint/internal/tier"
 )
 
 // Shedding verdicts. Each maps to one HTTP answer: a full queue is the
@@ -54,6 +56,13 @@ type TenantConfig struct {
 	QueueDepth int `json:"queue_depth"`
 	// LedgerCap bounds the in-memory decision ledger ring (default 4096).
 	LedgerCap int `json:"ledger_cap"`
+	// TierSpec, when non-empty, routes the tenant's model queries
+	// through a staged tier estimator built over a per-tenant sweep
+	// engine (see tier.ParseTierSpec; e.g. "bound=0.1"). Each decision
+	// then records which ladder tier dominated its queries, and the
+	// tenant's registry carries the mdsprint_tier_* metrics. Empty
+	// disables tiering (today's behavior).
+	TierSpec string `json:"tier_spec,omitempty"`
 	// StallAfter is how long one operation may run before the tenant is
 	// declared stalled and sheds instead of queueing (default 2s).
 	StallAfter time.Duration `json:"stall_after"`
@@ -151,6 +160,7 @@ type tenant struct {
 	ledger   *online.DecisionLedger
 	primary  *SurfaceModel
 	fallback *SurfaceModel
+	tiers    *tier.Estimator // nil unless TierSpec is configured
 
 	queue    chan *op
 	stopC    chan struct{}
@@ -178,6 +188,21 @@ func newTenant(cfg TenantConfig) (*tenant, error) {
 	breaker := fault.NewBreaker(fault.BreakerConfig{
 		Name: cfg.Name, FailureThreshold: 1, Metrics: reg,
 	})
+	var est *tier.Estimator
+	var eng *sweep.Engine
+	if cfg.TierSpec != "" {
+		spec, err := tier.ParseTierSpec(cfg.TierSpec)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %s: %w", cfg.Name, err)
+		}
+		eng = sweep.New(sweep.Options{Workers: 2, Metrics: reg})
+		est, err = tier.New(spec, tier.Options{Engine: eng, Metrics: reg})
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %s: %w", cfg.Name, err)
+		}
+		primary.SetTiers(est)
+		fallback.SetTiers(est)
+	}
 	ledger := online.NewBoundedDecisionLedger(cfg.LedgerCap)
 	fc, err := online.NewFallbackController(online.FallbackConfig{
 		Primary:         primary,
@@ -191,13 +216,15 @@ func newTenant(cfg TenantConfig) (*tenant, error) {
 		Breaker:         breaker,
 		Metrics:         reg,
 		Ledger:          ledger,
+		Engine:          eng,
+		Tiers:           est,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %s: %w", cfg.Name, err)
 	}
 	t := &tenant{
 		cfg: cfg, reg: reg, fc: fc, breaker: breaker, ledger: ledger,
-		primary: primary, fallback: fallback,
+		primary: primary, fallback: fallback, tiers: est,
 		queue: make(chan *op, cfg.QueueDepth),
 		stopC: make(chan struct{}),
 		done:  make(chan struct{}),

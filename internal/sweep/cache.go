@@ -55,6 +55,26 @@ func (c *cache) getOrStart(key Key) (e *entry, owner bool, evicted int) {
 	return e, true, evicted
 }
 
+// peek returns the completed entry for key without starting anything:
+// misses and in-flight computations both report ok=false. A hit still
+// promotes the entry in the LRU — a peeked result is a used result.
+func (c *cache) peek(key Key) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	select {
+	case <-e.ready:
+	default:
+		return nil, false // in flight: peeking must never block
+	}
+	c.ll.MoveToFront(el)
+	return e, true
+}
+
 // finish publishes the owner's result and wakes all waiters.
 func (e *entry) finish(pred queuesim.Prediction, err error) {
 	e.pred = pred

@@ -206,6 +206,32 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
+// Lookup reports whether t's result is already memoized, without
+// evaluating, waiting, or perturbing the engine's counters. In-flight
+// computations, tracer/clock-carrying tasks, unfingerprintable Params
+// and memoized failures all report ok=false. The staged estimator
+// (internal/tier) uses this as its cache tier: a hit is a finished
+// ground-truth answer at lookup cost, a miss falls through to
+// simulation instead of blocking behind someone else's evaluation.
+func (e *Engine) Lookup(t Task) (queuesim.Prediction, bool) {
+	if e.cache == nil || t.Params.Tracer != nil || t.Params.Clock != nil {
+		return queuesim.Prediction{}, false
+	}
+	reps := t.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	key, err := Fingerprint(t.Params, reps)
+	if err != nil {
+		return queuesim.Prediction{}, false
+	}
+	en, ok := e.cache.peek(key)
+	if !ok || en.err != nil {
+		return queuesim.Prediction{}, false
+	}
+	return en.pred, true
+}
+
 // Evaluate runs (or recalls) one task. Tasks whose Params carry a Tracer
 // or a Clock bypass the cache: a memoized recall would silently skip
 // their side effects (lifecycle events, timed metrics), so observed runs

@@ -1,0 +1,63 @@
+package tier
+
+import (
+	"testing"
+
+	"mdsprint/internal/obs"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
+)
+
+// TestTierAnalyticZeroAllocs pins the analytic fast path at zero
+// steady-state heap allocations: canonicalization, the applicability
+// gate, the closed form, the error model and the metrics recording all
+// stay on the stack. This is the path the sprintd decide loop rides, so
+// an allocation here is a serving-throughput regression, not a style
+// nit.
+func TestTierAnalyticZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under -race instrumentation")
+	}
+	est, err := New(Spec{}, Options{
+		Engine:  sweep.New(sweep.Options{Metrics: obs.NewRegistry()}),
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := mm1Task(0.5, 1, 40000, 1)
+
+	// Prime once (lazy init anywhere in the chain is allowed exactly
+	// one shot), then demand zero.
+	if _, dec, err := est.Estimate(task); err != nil || dec.Tier != TierAnalytic {
+		t.Fatalf("prime: tier %v err %v, want analytic", dec.Tier, err)
+	}
+	var pred queuesim.Prediction
+	var dec Decision
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		pred, dec, err = est.Estimate(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if dec.Tier != TierAnalytic {
+		t.Fatalf("steady state escalated to %v", dec.Tier)
+	}
+	if pred.MeanRT != 2 {
+		t.Fatalf("M/M/1 mean %v, want 2", pred.MeanRT)
+	}
+	if allocs != 0 {
+		t.Fatalf("analytic Estimate allocates %v per op, want 0", allocs)
+	}
+
+	// MeanRT is the same path minus the struct plumbing.
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, _, err := est.MeanRT(task); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("analytic MeanRT allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,186 @@
+package tier
+
+// The serving-throughput benchmark behind BENCH_tier.json: a mixed
+// stationary query stream (the shape a sprintd decide loop generates —
+// mostly small perturbations of known operating points, occasionally a
+// genuinely new configuration) answered with and without the ladder.
+// The acceptance bar is a >=5x median decide speedup with a cheap-tier
+// (analytic+cache) hit rate >=70%; TestTierSpeedupBudget enforces both,
+// env-gated like the other timing gates so CI runs it deliberately.
+
+import (
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
+)
+
+// benchStreamLen is one period of the mixed stream.
+const benchStreamLen = 256
+
+// benchStreamTask returns query i of the stream in a given epoch:
+//
+//	~60%  fresh no-sprint configs with jittered arrival rates —
+//	      analytic-eligible (the "stationary, near a known point" bulk);
+//	~15%  one of 8 recurring sprint configs — cache hits once warm;
+//	~25%  fresh sprint configs — the simulation tiers' tail.
+//
+// "Fresh" queries are genuinely new every epoch (rate estimates drift
+// between decides, so real streams rarely repeat them exactly), while
+// the recurring configs are epoch-independent; everything derives
+// deterministically from (epoch, i) so runs are reproducible.
+func benchStreamTask(epoch, i int) sweep.Task {
+	const mu = 10.0
+	u := epoch*benchStreamLen + i
+	switch {
+	case i%16 < 10: // fresh analytic-eligible
+		rho := 0.30 + 0.35*float64(u%977)/977
+		return sweep.Task{Params: queuesim.Params{
+			ArrivalRate: rho * mu,
+			Service:     dist.NewExponential(mu),
+			ServiceRate: mu,
+			Timeout:     -1,
+			NumQueries:  4000,
+			Seed:        uint64(1000 + u),
+		}, Reps: 2}
+	case i%16 < 12: // recurring sprint configs
+		k := i % 8
+		return sweep.Task{Params: queuesim.Params{
+			ArrivalRate:   7 + 0.25*float64(k),
+			Service:       dist.NewExponential(mu),
+			ServiceRate:   mu,
+			SprintRate:    18,
+			Timeout:       0.1 + 0.01*float64(k),
+			BudgetSeconds: 20, RefillTime: 80,
+			NumQueries: 2000,
+			Seed:       77,
+		}, Reps: 2}
+	default: // fresh sprint configs
+		return sweep.Task{Params: queuesim.Params{
+			ArrivalRate:   7.5 + 0.5*float64(u%131)/131,
+			Service:       dist.NewExponential(mu),
+			ServiceRate:   mu,
+			SprintRate:    16 + float64(u%5),
+			Timeout:       0.08 + 0.06*float64(u%11)/11,
+			BudgetSeconds: 15, RefillTime: 60,
+			NumQueries: 2000,
+			Seed:       uint64(5000 + u),
+		}, Reps: 2}
+	}
+}
+
+func benchEstimator(b testing.TB, spec Spec) *Estimator {
+	est, err := New(spec, Options{
+		Engine:  sweep.New(sweep.Options{Workers: 2, Metrics: obs.NewRegistry()}),
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return est
+}
+
+// BenchmarkTierDecide measures the amortized per-query decide cost over
+// the mixed stream with the full ladder enabled.
+func BenchmarkTierDecide(b *testing.B) {
+	est := benchEstimator(b, Spec{})
+	// Warm one epoch so the recurring configs are memoized, as they
+	// would be in any serving steady state.
+	for i := 0; i < benchStreamLen; i++ {
+		if _, _, err := est.MeanRT(benchStreamTask(0, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := est.MeanRT(benchStreamTask(1+i/benchStreamLen, i%benchStreamLen)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := est.Stats()
+	b.ReportMetric(s.CheapRate(), "cheap-rate")
+}
+
+// BenchmarkFullDecide is the same stream with every cheap tier off —
+// today's behavior, where each decide is a full engine evaluation
+// (the engine's own memoization still applies, as it does in
+// production).
+func BenchmarkFullDecide(b *testing.B) {
+	est := benchEstimator(b, Spec{NoAnalytic: true, NoCache: true, NoShort: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := est.MeanRT(benchStreamTask(1+i/benchStreamLen, i%benchStreamLen)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// measureStream runs one period and returns per-query latencies plus
+// the estimator's final stats.
+func measureStream(t *testing.T, spec Spec) ([]time.Duration, Stats) {
+	est := benchEstimator(t, spec)
+	// Warm epoch 0: the recurring configs get memoized, as in any
+	// serving steady state. The measured epoch's fresh queries are new.
+	for i := 0; i < benchStreamLen; i++ {
+		if _, _, err := est.MeanRT(benchStreamTask(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := est.Stats()
+	lat := make([]time.Duration, benchStreamLen)
+	for i := range lat {
+		start := time.Now()
+		if _, _, err := est.MeanRT(benchStreamTask(1, i)); err != nil {
+			t.Fatal(err)
+		}
+		lat[i] = time.Since(start)
+	}
+	return lat, est.Stats().Sub(before)
+}
+
+func median(lat []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// TestTierSpeedupBudget is the bench-tier merge gate in test form: over
+// the mixed stream, the tiered estimator's median decide latency must
+// be at least 5x below always-full, with a cheap-tier hit rate of at
+// least 70%. Numbers are recorded in BENCH_tier.json; regenerate with
+// `make bench-tier`.
+func TestTierSpeedupBudget(t *testing.T) {
+	if os.Getenv("MDSPRINT_BENCH_TIER") == "" {
+		t.Skip("timing gate: wall-clock margins need an otherwise idle machine; run via make bench-tier (MDSPRINT_BENCH_TIER=1)")
+	}
+	if testing.Short() {
+		t.Skip("simulates the full stream twice")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the timing budget")
+	}
+	// Both estimators run one warm epoch first, so recurring configs
+	// are equally memoized on both engines and the comparison isolates
+	// tiering, not cold-start.
+	fullLat, _ := measureStream(t, Spec{NoAnalytic: true, NoCache: true, NoShort: true})
+	tierLat, stats := measureStream(t, Spec{})
+
+	fullMed, tierMed := median(fullLat), median(tierLat)
+	speedup := float64(fullMed) / float64(tierMed)
+	t.Logf("median decide: full=%v tiered=%v speedup=%.1fx cheap-rate=%.3f (analytic=%d cache=%d short=%d full=%d of %d)",
+		fullMed, tierMed, speedup, stats.CheapRate(),
+		stats.Analytic, stats.Cache, stats.Short, stats.Full, stats.Answers)
+	if speedup < 5 {
+		t.Errorf("median decide speedup %.1fx below the 5x floor", speedup)
+	}
+	if stats.CheapRate() < 0.70 {
+		t.Errorf("cheap-tier hit rate %.3f below the 0.70 floor", stats.CheapRate())
+	}
+}

@@ -1,0 +1,148 @@
+package tier
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mdsprint/internal/dist"
+	"mdsprint/internal/obs"
+	"mdsprint/internal/queuesim"
+	"mdsprint/internal/sweep"
+)
+
+// FuzzParseTierSpec holds the spec grammar to its contract: the parser
+// never panics, and any accepted input round-trips — parse -> String ->
+// re-parse reproduces the same resolved spec, with String idempotent.
+func FuzzParseTierSpec(f *testing.F) {
+	f.Add("")
+	f.Add("bound=0.1")
+	f.Add("bound=0.25,-analytic,cache,short(div=8,reps=4,ci=0.5)")
+	f.Add("-analytic,-cache,-short")
+	f.Add("short(div=16,reps=2)")
+	f.Add("bound=1,short(ci=1)")
+	f.Add("bound=0,short(div=0,reps=0,ci=0)")
+	f.Add("short(((")
+	f.Add("bound=1e-300")
+	f.Add(" bound = 0.5 ")
+	f.Fuzz(func(t *testing.T, in string) {
+		s1, err := ParseTierSpec(in)
+		if err != nil {
+			return
+		}
+		if verr := s1.Validate(); verr != nil {
+			t.Fatalf("ParseTierSpec(%q) returned invalid spec %+v: %v", in, s1, verr)
+		}
+		text := s1.String()
+		s2, err := ParseTierSpec(text)
+		if err != nil {
+			t.Fatalf("re-parse of %q (accepted from %q): %v", text, in, err)
+		}
+		if s1 != s2 {
+			t.Fatalf("%q: %+v -> %q -> %+v", in, s1, text, s2)
+		}
+		if again := s2.String(); again != text {
+			t.Fatalf("%q: String not a fixed point: %q then %q", in, text, again)
+		}
+	})
+}
+
+// fuzzService maps a selector byte to a service distribution with mean
+// near 1/mu, covering light, deterministic and heavy tails.
+func fuzzService(sel uint8, mu float64) dist.Dist {
+	switch sel % 4 {
+	case 0:
+		return dist.NewExponential(mu)
+	case 1:
+		return dist.Deterministic{Value: 1 / mu}
+	case 2:
+		return dist.Uniform{Lo: 0.5 / mu, Hi: 1.5 / mu}
+	default:
+		return dist.LogNormalFromMeanCV(1/mu, 1.5)
+	}
+}
+
+// FuzzTierEscalation throws randomized queries at the ladder and checks
+// the invariants no input may break: the decision is deterministic
+// (fresh estimator + fresh engine twice -> bit-identical answer, same
+// decision), the advertised error estimate of a serving cheap tier
+// respects the bound, the escalation mask is consistent with the tier
+// chosen, and tightening the bound never picks a cheaper tier.
+func FuzzTierEscalation(f *testing.F) {
+	f.Add(uint16(600), uint8(0), uint16(300), false, uint16(200))
+	f.Add(uint16(900), uint8(3), uint16(400), true, uint16(80))
+	f.Add(uint16(100), uint8(1), uint16(50), false, uint16(1000))
+	f.Fuzz(func(t *testing.T, loadMilli uint16, svcSel uint8, queries uint16, sprinting bool, boundMilli uint16) {
+		// Clamp to a stable, fast corner of parameter space: utilization
+		// in [0.05, 0.95], horizons small enough that the full tier stays
+		// cheap under -fuzztime.
+		rho := 0.05 + 0.9*float64(loadMilli%1000)/1000
+		const mu = 1.0
+		q := 50 + int(queries%400)
+		bound := 0.01 + 0.99*float64(boundMilli%1000)/1000
+		p := queuesim.Params{
+			ArrivalRate: rho * mu,
+			Service:     fuzzService(svcSel, mu),
+			ServiceRate: mu,
+			Timeout:     -1,
+			NumQueries:  q,
+			Seed:        uint64(loadMilli)<<16 | uint64(queries),
+		}
+		if sprinting {
+			p.SprintRate = 2 * mu
+			p.Timeout = 0.5 / mu
+			p.BudgetSeconds = 5
+			p.RefillTime = 20
+		}
+		task := sweep.Task{Params: p, Reps: 2}
+
+		run := func(bound float64) (queuesim.Prediction, Decision) {
+			est, err := New(Spec{Bound: bound}, Options{
+				Engine:  sweep.New(sweep.Options{Workers: 2, Metrics: obs.NewRegistry()}),
+				Metrics: obs.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, dec, err := est.Estimate(task)
+			if err != nil {
+				t.Fatalf("Estimate(%+v): %v", p, err)
+			}
+			return pred, dec
+		}
+
+		pred1, dec1 := run(bound)
+		pred2, dec2 := run(bound)
+		if predBits(pred1) != predBits(pred2) || dec1 != dec2 {
+			t.Fatalf("nondeterministic: %+v/%+v vs %+v/%+v", pred1, dec1, pred2, dec2)
+		}
+
+		if dec1.Bound != bound {
+			t.Fatalf("decision bound %v, want %v", dec1.Bound, bound)
+		}
+		if dec1.Tier == TierAnalytic || dec1.Tier == TierShort {
+			if !(dec1.ErrEstimate <= dec1.Bound) {
+				t.Fatalf("%v served with estimate %v over bound %v", dec1.Tier, dec1.ErrEstimate, dec1.Bound)
+			}
+		}
+		if dec1.Tier != TierFull && dec1.Escalations&(EscBypass|EscShortErr) != 0 {
+			t.Fatalf("cheap tier %v carries full-only escalations %#x", dec1.Tier, dec1.Escalations)
+		}
+		if !(pred1.MeanRT > 0) && dec1.Tier != TierFull {
+			t.Fatalf("cheap tier %v served non-positive mean %v", dec1.Tier, pred1.MeanRT)
+		}
+		if math.IsNaN(pred1.MeanRT) {
+			t.Fatalf("NaN mean from tier %v", dec1.Tier)
+		}
+		if s := strings.TrimSpace(dec1.Tier.String()); s == "" || s == "none" {
+			t.Fatalf("served by unnamed tier %d", dec1.Tier)
+		}
+
+		// Monotonicity at a strictly tighter bound, fresh state again.
+		_, tight := run(bound / 4)
+		if tight.Tier < dec1.Tier {
+			t.Fatalf("bound %v -> %v but %v -> %v: escalation not monotone",
+				bound, dec1.Tier, bound/4, tight.Tier)
+		}
+	})
+}

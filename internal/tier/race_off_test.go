@@ -1,0 +1,8 @@
+//go:build !race
+
+package tier
+
+// raceEnabled gates allocation-budget tests: the race detector
+// instruments allocations, so AllocsPerRun assertions only hold in
+// non-race builds.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package tier
+
+// raceEnabled gates allocation-budget tests under -race; see
+// race_off_test.go.
+const raceEnabled = true

@@ -1,0 +1,255 @@
+package tier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec configures a staged estimator: which tiers may answer and how
+// aggressively each is allowed to. The zero value means "all tiers on,
+// defaults everywhere" so an Estimator can be built without
+// configuration; ParseTierSpec/String give it a canonical text form for
+// flags and per-tenant configs.
+type Spec struct {
+	// Bound is the relative error the caller tolerates against full-rep
+	// ground truth (default 0.1). Every tier must justify its answer
+	// against it: the analytic tier through its error model, the short
+	// tier through its confidence interval; the cache and full tiers
+	// carry error 0 by construction.
+	Bound float64
+	// NoAnalytic, NoCache and NoShort disable individual cheap tiers
+	// (negative so the zero value enables everything). The full tier
+	// cannot be disabled — it is the ground truth the others defer to.
+	NoAnalytic bool
+	NoCache    bool
+	NoShort    bool
+	// ShortDiv divides the task's query count for each short
+	// replication (default 8); ShortReps is how many short replications
+	// the tier runs (default 4, minimum 2 — the CI needs a variance).
+	ShortDiv  int
+	ShortReps int
+	// CIFrac is the fraction of Bound the short tier's 95% relative CI
+	// halfwidth must fit inside to serve (default 0.5): the margin
+	// covers the ground truth's own sampling noise.
+	CIFrac float64
+}
+
+// Defaults for the zero Spec.
+const (
+	DefaultBound     = 0.1
+	DefaultShortDiv  = 8
+	DefaultShortReps = 4
+	DefaultCIFrac    = 0.5
+)
+
+// withDefaults resolves zero fields to their defaults.
+func (s Spec) withDefaults() Spec {
+	//lint:ignore floateq 0 is the struct's literal zero value, the unset sentinel
+	if s.Bound == 0 {
+		s.Bound = DefaultBound
+	}
+	if s.ShortDiv == 0 {
+		s.ShortDiv = DefaultShortDiv
+	}
+	if s.ShortReps == 0 {
+		s.ShortReps = DefaultShortReps
+	}
+	//lint:ignore floateq 0 is the struct's literal zero value, the unset sentinel
+	if s.CIFrac == 0 {
+		s.CIFrac = DefaultCIFrac
+	}
+	return s
+}
+
+// Validate reports whether the resolved spec is usable.
+func (s Spec) Validate() error {
+	r := s.withDefaults()
+	if !(r.Bound > 0 && r.Bound <= 1) {
+		return fmt.Errorf("tier: bound %v must be in (0, 1]", r.Bound)
+	}
+	if r.ShortDiv < 2 {
+		return fmt.Errorf("tier: short div %d must be at least 2", r.ShortDiv)
+	}
+	if r.ShortReps < 2 || r.ShortReps > maxShortReps {
+		return fmt.Errorf("tier: short reps %d must be in [2, %d]", r.ShortReps, maxShortReps)
+	}
+	if !(r.CIFrac > 0 && r.CIFrac <= 1) {
+		return fmt.Errorf("tier: ci fraction %v must be in (0, 1]", r.CIFrac)
+	}
+	return nil
+}
+
+// String renders the spec in its canonical grammar, e.g.
+//
+//	bound=0.1,analytic,cache,short(div=8,reps=4,ci=0.5)
+//
+// Disabled tiers render as "-analytic", "-cache", "-short" (a disabled
+// short tier drops its parameter list). ParseTierSpec(s.String())
+// reproduces the resolved spec exactly, and String is idempotent under
+// that round trip — the fuzz harness holds it to both.
+func (s Spec) String() string {
+	r := s.withDefaults()
+	var b strings.Builder
+	b.WriteString("bound=")
+	b.WriteString(formatFloat(r.Bound))
+	if r.NoAnalytic {
+		b.WriteString(",-analytic")
+	} else {
+		b.WriteString(",analytic")
+	}
+	if r.NoCache {
+		b.WriteString(",-cache")
+	} else {
+		b.WriteString(",cache")
+	}
+	if r.NoShort {
+		b.WriteString(",-short")
+	} else {
+		b.WriteString(",short(div=")
+		b.WriteString(strconv.Itoa(r.ShortDiv))
+		b.WriteString(",reps=")
+		b.WriteString(strconv.Itoa(r.ShortReps))
+		b.WriteString(",ci=")
+		b.WriteString(formatFloat(r.CIFrac))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseTierSpec parses the grammar String renders. Fields are
+// comma-separated (commas inside the short(...) parameter list bind to
+// it); each field is one of
+//
+//	bound=<float>            error bound in (0, 1]
+//	analytic | -analytic     enable/disable the analytic tier
+//	cache | -cache           enable/disable the cache tier
+//	short | -short           enable/disable the short tier
+//	short(div=D,reps=R,ci=C) enable the short tier with parameters
+//
+// Omitted fields keep their defaults; an empty string is the default
+// spec. The result is validated and returned fully resolved.
+func ParseTierSpec(s string) (Spec, error) {
+	spec := Spec{}
+	for _, field := range splitTop(s) {
+		field = strings.TrimSpace(field)
+		switch {
+		case field == "":
+			continue
+		case strings.HasPrefix(field, "bound="):
+			v, err := parseFloatField(field, "bound=")
+			if err != nil {
+				return Spec{}, err
+			}
+			//lint:ignore floateq an explicitly spelled "0" parses to exactly 0
+			if v == 0 {
+				// An explicit zero would silently resolve to the default;
+				// reject it instead of reinterpreting it.
+				return Spec{}, fmt.Errorf("tier: bound must be positive")
+			}
+			spec.Bound = v
+		case field == "analytic":
+			spec.NoAnalytic = false
+		case field == "-analytic":
+			spec.NoAnalytic = true
+		case field == "cache":
+			spec.NoCache = false
+		case field == "-cache":
+			spec.NoCache = true
+		case field == "short":
+			spec.NoShort = false
+		case field == "-short":
+			spec.NoShort = true
+		case strings.HasPrefix(field, "short(") && strings.HasSuffix(field, ")"):
+			spec.NoShort = false
+			inner := field[len("short(") : len(field)-1]
+			for _, kv := range strings.Split(inner, ",") {
+				kv = strings.TrimSpace(kv)
+				switch {
+				case kv == "":
+					continue
+				case strings.HasPrefix(kv, "div="):
+					n, err := parseIntField(kv, "div=")
+					if err != nil {
+						return Spec{}, err
+					}
+					if n == 0 {
+						return Spec{}, fmt.Errorf("tier: short div must be positive")
+					}
+					spec.ShortDiv = n
+				case strings.HasPrefix(kv, "reps="):
+					n, err := parseIntField(kv, "reps=")
+					if err != nil {
+						return Spec{}, err
+					}
+					if n == 0 {
+						return Spec{}, fmt.Errorf("tier: short reps must be positive")
+					}
+					spec.ShortReps = n
+				case strings.HasPrefix(kv, "ci="):
+					v, err := parseFloatField(kv, "ci=")
+					if err != nil {
+						return Spec{}, err
+					}
+					//lint:ignore floateq an explicitly spelled "0" parses to exactly 0
+					if v == 0 {
+						return Spec{}, fmt.Errorf("tier: ci fraction must be positive")
+					}
+					spec.CIFrac = v
+				default:
+					return Spec{}, fmt.Errorf("tier: unknown short parameter %q", kv)
+				}
+			}
+		default:
+			return Spec{}, fmt.Errorf("tier: unknown spec field %q", field)
+		}
+	}
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// splitTop splits on commas outside parentheses, so the short tier's
+// parameter list stays one field.
+func splitTop(s string) []string {
+	var fields []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				fields = append(fields, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(fields, s[start:])
+}
+
+func parseFloatField(field, prefix string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(field, prefix)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("tier: %s%w", prefix, err)
+	}
+	return v, nil
+}
+
+func parseIntField(field, prefix string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(field, prefix)))
+	if err != nil {
+		return 0, fmt.Errorf("tier: %s%w", prefix, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,121 @@
+package tier
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecZeroValueAndString pins the zero-value contract: all tiers
+// on, defaults everywhere, canonical rendering.
+func TestSpecZeroValueAndString(t *testing.T) {
+	var s Spec
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero spec invalid: %v", err)
+	}
+	const want = "bound=0.1,analytic,cache,short(div=8,reps=4,ci=0.5)"
+	if got := s.String(); got != want {
+		t.Fatalf("zero spec renders %q, want %q", got, want)
+	}
+	parsed, err := ParseTierSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if parsed != s.withDefaults() {
+		t.Fatalf("empty parse %+v != resolved zero %+v", parsed, s.withDefaults())
+	}
+}
+
+// TestParseTierSpecRoundTrip: parse -> String -> re-parse must be the
+// identity on the resolved spec, and String idempotent.
+func TestParseTierSpecRoundTrip(t *testing.T) {
+	inputs := []string{
+		"",
+		"bound=0.05",
+		"bound=0.2,-analytic",
+		"-cache",
+		"-short",
+		"-analytic,-cache,-short",
+		"short(div=16,reps=8,ci=0.25)",
+		"bound=1,short(div=2,reps=2,ci=1)",
+		"  bound=0.3 , cache , short( div=4 , reps=3 )  ",
+		"analytic,cache,short",
+		"bound=0.125,short(ci=0.75)",
+	}
+	for _, in := range inputs {
+		s1, err := ParseTierSpec(in)
+		if err != nil {
+			t.Fatalf("ParseTierSpec(%q): %v", in, err)
+		}
+		text := s1.String()
+		s2, err := ParseTierSpec(text)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", text, in, err)
+		}
+		if s1 != s2 {
+			t.Fatalf("%q: round trip %+v -> %q -> %+v", in, s1, text, s2)
+		}
+		if again := s2.String(); again != text {
+			t.Fatalf("%q: String not idempotent: %q then %q", in, text, again)
+		}
+	}
+}
+
+// TestParseTierSpecRejects pins the parser's rejection surface,
+// including the explicit-zero hole (a literal 0 must not silently
+// resolve to the default).
+func TestParseTierSpecRejects(t *testing.T) {
+	bad := []string{
+		"bound=0",
+		"bound=-0",
+		"bound=-0.1",
+		"bound=1.5",
+		"bound=nan",
+		"bound=+inf",
+		"bound=",
+		"bound=x",
+		"short(div=0)",
+		"short(div=1)",
+		"short(div=-4)",
+		"short(reps=0)",
+		"short(reps=1)",
+		"short(reps=99)",
+		"short(ci=0)",
+		"short(ci=2)",
+		"short(frob=1)",
+		"turbo",
+		"short(div=8",
+		"bound=0.1,,bogus",
+	}
+	for _, in := range bad {
+		if s, err := ParseTierSpec(in); err == nil {
+			t.Fatalf("ParseTierSpec(%q) accepted as %+v", in, s)
+		}
+	}
+}
+
+// TestValidateBounds exercises Validate directly on structurally bad
+// specs that the parser cannot produce.
+func TestValidateBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spec
+		frag string
+	}{
+		{"bound-high", Spec{Bound: 1.5}, "bound"},
+		{"bound-neg", Spec{Bound: -0.1}, "bound"},
+		{"div-low", Spec{ShortDiv: 1}, "div"},
+		{"reps-low", Spec{ShortReps: 1}, "reps"},
+		{"reps-high", Spec{ShortReps: maxShortReps + 1}, "reps"},
+		{"ci-high", Spec{CIFrac: 1.5}, "ci"},
+		{"ci-neg", Spec{CIFrac: -1}, "ci"},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted %+v", c.name, c.s)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
